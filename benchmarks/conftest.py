@@ -1,0 +1,22 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper artifact (table/figure) through
+the full stack (compile → simulate → model) and asserts its headline
+numbers, so the suite doubles as an end-to-end regression gate.  Runs
+are deterministic; one round per benchmark keeps the suite fast.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regen(benchmark):
+    """Run an experiment once under the benchmark clock and return its
+    ExperimentResult for assertions."""
+
+    def _run(experiment, *args, **kwargs):
+        return benchmark.pedantic(
+            experiment, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,57 @@
+"""Ablation benchmarks over the modelled design choices."""
+
+import pytest
+
+from repro.experiments import (
+    run_ablation_bubbles,
+    run_ablation_pairs,
+    run_ablation_refresh,
+    run_ablation_reuse,
+    run_ablation_scalar_splits,
+    run_contention,
+)
+
+
+def test_bench_ablation_bubbles(regen):
+    result = regen(run_ablation_bubbles)
+    for row in result.data["rows"]:
+        assert row.ablated < row.baseline
+
+
+def test_bench_ablation_refresh(regen):
+    result = regen(run_ablation_refresh)
+    changes = [row.change_percent for row in result.data["rows"]]
+    # The refresh penalty is worth roughly the paper's ~2% on
+    # memory-saturated kernels.
+    assert min(changes) >= -4.0
+    assert any(change <= -0.5 for change in changes)
+
+
+def test_bench_ablation_reuse(regen):
+    result = regen(run_ablation_reuse)
+    rows = {r.kernel: r for r in result.data["rows"]}
+    for kernel in (1, 7, 12):  # the paper's compiler-reload kernels
+        assert rows[kernel].ablated < rows[kernel].baseline
+
+
+def test_bench_ablation_pairs(regen):
+    result = regen(run_ablation_pairs)
+    for row in result.data["rows"]:
+        assert row.ablated <= row.baseline + 1e-9
+
+
+def test_bench_ablation_scalar_splits(regen):
+    result = regen(run_ablation_scalar_splits)
+    rows = {r.kernel: r for r in result.data["rows"]}
+    assert rows[8].ablated < rows[8].baseline  # the LFK8 effect
+
+
+def test_bench_contention(regen):
+    """§4.2 contention sweep."""
+    result = regen(run_contention)
+    saturated = [
+        r for r in result.data["rows"]
+        if r["mix"] == "different-programs" and r["load_average"] > 4
+    ]
+    assert all(20.0 < r["degradation_percent"] < 60.0
+               for r in saturated)

@@ -1,0 +1,45 @@
+"""Benchmarks regenerating the paper's Figures 1–3 and §3.5."""
+
+import pytest
+
+from repro import paperdata
+from repro.experiments import (
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_walkthrough,
+)
+
+
+def test_bench_figure1(regen):
+    """Figure 1: the hierarchy diagram."""
+    result = regen(run_figure1)
+    assert "t_MACS" in result.body
+
+
+def test_bench_figure2(regen):
+    """Figure 2: chained chime timing (162/166/132-cycle numbers)."""
+    result = regen(run_figure2)
+    assert result.data["unchained_cycles"] == \
+        paperdata.PAPER_FIG2_UNCHAINED
+    assert result.data["first_chime_cycles"] == \
+        paperdata.PAPER_FIG2_CHAINED_WITH_BUBBLES
+    assert 128.0 <= result.data["steady_chime_cycles"] <= 134.0
+
+
+def test_bench_figure3(regen):
+    """Figure 3: per-kernel CPF bars, single vs loaded machine."""
+    result = regen(run_figure3)
+    for row in result.data["series"]:
+        assert row["ma"] <= row["mac"] <= row["macs"] <= \
+            row["single"] * 1.001
+        assert row["multi"] > row["single"]
+
+
+def test_bench_walkthrough(regen):
+    """§3.5: the LFK1 chime-by-chime walkthrough."""
+    result = regen(run_walkthrough)
+    assert result.data["with_refresh"] == pytest.approx(
+        paperdata.PAPER_LFK1_WITH_REFRESH
+    )
+    assert result.data["measured_cpl"] >= result.data["t_macs_cpl"]

@@ -1,0 +1,22 @@
+"""Per-kernel simulation benchmarks.
+
+Times compile+simulate for each LFK (the substrate's own throughput)
+and asserts the measured CPF stays inside the calibrated band around
+the paper's Table 4 values.
+"""
+
+import pytest
+
+from repro import paperdata
+from repro.workloads import CASE_STUDY_KERNELS, run_kernel
+
+
+@pytest.mark.parametrize(
+    "spec", CASE_STUDY_KERNELS, ids=lambda s: s.name
+)
+def test_bench_kernel_simulation(benchmark, spec):
+    run = benchmark.pedantic(
+        lambda: run_kernel(spec), rounds=1, iterations=1
+    )
+    paper_cpf = paperdata.PAPER_TABLE4[spec.number].t_c_cpf
+    assert run.cpf() == pytest.approx(paper_cpf, rel=0.20)

@@ -1,0 +1,32 @@
+"""Benchmarks for the machine-model studies and the generalization
+workload family."""
+
+import pytest
+
+from repro.experiments import run_cache_study, run_vector_length_study
+from repro.model import analyze_kernel
+from repro.workloads import STENCIL_KERNELS
+
+
+def test_bench_scalar_cache_study(regen):
+    result = regen(run_cache_study)
+    rows = {r["kernel"]: r for r in result.data["rows"]}
+    assert rows[2]["change_percent"] < -3.0
+    assert abs(rows[1]["change_percent"]) < 2.0
+
+
+def test_bench_vector_length_study(regen):
+    result = regen(run_vector_length_study)
+    for curve in result.data["curves"].values():
+        assert 4 <= curve["n_half"] <= 128
+
+
+@pytest.mark.parametrize(
+    "spec", STENCIL_KERNELS, ids=lambda s: s.name
+)
+def test_bench_generalization_family(benchmark, spec):
+    """Full hierarchy on the non-LFK workloads."""
+    analysis = benchmark.pedantic(
+        lambda: analyze_kernel(spec), rounds=1, iterations=1
+    )
+    assert analysis.percent_explained("macs") >= 88.0

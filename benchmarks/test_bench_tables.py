@@ -1,0 +1,50 @@
+"""Benchmarks regenerating the paper's Tables 1–5."""
+
+import pytest
+
+from repro import paperdata
+from repro.experiments import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+def test_bench_table1(regen):
+    """Table 1: calibration loops recover X/Y/Z/B."""
+    result = regen(run_table1)
+    assert result.data["max_z_error"] <= 0.05
+    assert result.data["max_b_error"] <= 1.0
+
+
+def test_bench_table2(regen):
+    """Table 2: MA/MAC workload counts for the ten LFKs."""
+    result = regen(run_table2)
+    assert result.data["mismatches"] == []
+
+
+def test_bench_table3(regen):
+    """Table 3: t_f/t_m components and bounds in CPL."""
+    result = regen(run_table3)
+    for analysis in result.data["analyses"]:
+        assert analysis.ma.cpl <= analysis.mac.cpl <= \
+            analysis.macs.cpl + 1e-9
+
+
+def test_bench_table4(regen):
+    """Table 4: bounds vs measured CPF + HMEAN MFLOPS row."""
+    result = regen(run_table4)
+    hmeans = result.data["hmeans"]
+    for level, paper_value in paperdata.PAPER_HMEAN_MFLOPS.items():
+        assert hmeans[level] == pytest.approx(paper_value, rel=0.10)
+
+
+def test_bench_table5(regen):
+    """Table 5: MACS bounds and A/X measurements."""
+    result = regen(run_table5)
+    for analysis in result.data["analyses"]:
+        ax = analysis.ax
+        assert analysis.t_p_cpl >= ax.overlap_lower_bound() - 1e-9
+        assert analysis.macs_f.cpl <= analysis.ax.t_x_cpl * 1.1

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Multiprocessor contention study — the paper's §4.2 / Figure 3.
+
+Sweeps the shared-memory contention model across workload mixes and
+load averages for a memory-bound and an fp-heavy kernel, showing how
+the effective 40 ns -> 56-64 ns access stretch translates (or is
+masked) into whole-kernel slowdown.
+
+    python examples/contention_study.py
+"""
+
+from repro.experiments import run_contention, run_figure3
+from repro.machine import WorkloadMix, contention_factor_for_load
+from repro.workloads import kernel, run_kernel
+from repro.machine import DEFAULT_CONFIG
+
+
+def main() -> None:
+    print(run_contention().render())
+    print()
+
+    # A fine-grained load-average sweep for one kernel.
+    spec = kernel("lfk1")
+    baseline = run_kernel(spec)
+    print(f"LFK1 CPF vs load average "
+          f"(idle CPF {baseline.cpf():.3f}):")
+    for load in (0.5, 1.0, 2.0, 3.0, 4.0, 5.1, 8.0):
+        factor = contention_factor_for_load(
+            WorkloadMix.DIFFERENT_PROGRAMS, load
+        )
+        run = run_kernel(
+            spec, config=DEFAULT_CONFIG.with_contention(factor),
+            compiled=baseline.compiled,
+        )
+        bar = "#" * round(run.cpf() * 30)
+        print(f"  load {load:4.1f} (access {40 * factor:4.0f} ns): "
+              f"{run.cpf():6.3f} {bar}")
+    print()
+    print(run_figure3().render())
+
+
+if __name__ == "__main__":
+    main()

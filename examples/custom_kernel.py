@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Apply MACS to your own loop — the downstream-user scenario.
+
+Writes a small mini-Fortran kernel (a damped 1-D stencil update),
+compiles it, prints the generated assembly and the chime partition,
+computes the full bounds hierarchy, simulates it, and verifies the
+numerical output against NumPy.
+
+    python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_kernel
+from repro.isa import format_program
+from repro.machine import Simulator
+from repro.model import ma_bound, ma_counts, mac_bound, mac_counts, macs_bound
+from repro.model.macs import inner_loop_body
+from repro.schedule import partition_chimes
+
+SOURCE = """
+      DIMENSION U(1026), UN(1026)
+      DO 1 k = 2,n
+    1 UN(k) = U(k) + C*(U(k+1) - 2.0*U(k) + U(k-1))
+"""
+
+N = 1000
+C = 0.125
+FLOPS_PER_ITERATION = 5  # 3 adds/subs + 2 multiplies
+
+
+def main() -> None:
+    compiled = compile_kernel(SOURCE, "stencil")
+    print("generated assembly:")
+    print(format_program(compiled.program))
+
+    body = inner_loop_body(compiled.program)
+    partition = partition_chimes(body)
+    print(f"chime partition: {len(partition)} chimes, "
+          f"{partition.masked_scalar_ops} masked scalar ops")
+
+    plan = compiled.innermost_vector_plan()
+    ma = ma_bound(ma_counts(plan.analysis))
+    mac = mac_bound(mac_counts(body))
+    macs = macs_bound(compiled.program)
+    print(f"t_MA   = {ma.cpl:.3f} CPL "
+          f"({ma.cpl / FLOPS_PER_ITERATION:.3f} CPF)  "
+          f"[f={ma.t_f:.0f}, m={ma.t_m:.0f}]")
+    print(f"t_MAC  = {mac.cpl:.3f} CPL  "
+          f"[the compiler reloads the shifted U stream: "
+          f"l'={mac.counts.loads}]")
+    print(f"t_MACS = {macs.cpl:.3f} CPL "
+          f"({macs.cpl / FLOPS_PER_ITERATION:.3f} CPF)")
+
+    # Simulate and verify.
+    sim = Simulator(compiled.program)
+    u = 1.0 + 0.001 * np.arange(1026, dtype=float)
+    sim.load_symbol("U", u)
+    for name, values in compiled.initial_data().items():
+        sim.load_symbol(name, values)
+    sim.memory.load_array(
+        compiled.scalar_word_offset("n"), np.asarray([float(N)])
+    )
+    sim.memory.load_array(
+        compiled.scalar_word_offset("C"), np.asarray([C])
+    )
+    result = sim.run()
+    iterations = N - 1
+    print(f"measured: {result.cycles:.0f} cycles = "
+          f"{result.cycles / iterations:.3f} CPL = "
+          f"{result.cycles / (iterations * FLOPS_PER_ITERATION):.3f} "
+          f"CPF ({result.mflops:.1f} MFLOPS)")
+
+    k = np.arange(2, N + 1)
+    expected = u[k - 1] + C * (u[k] - 2.0 * u[k - 1] + u[k - 2])
+    actual = sim.dump_symbol("UN")[1:N]
+    assert np.allclose(actual, expected, rtol=1e-12)
+    print("output verified against NumPy")
+
+
+if __name__ == "__main__":
+    main()

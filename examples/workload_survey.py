@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Survey the whole case-study workload — the paper's Table 4 story.
+
+Analyzes all ten Livermore kernels, prints the bounds-vs-measured
+table with the percentage of run time each level explains, the
+harmonic-mean MFLOPS row, and the per-kernel diagnosis of §4.4.
+
+    python examples/workload_survey.py
+"""
+
+from repro.experiments import run_table4
+from repro.model import analyze_workload
+
+
+def main() -> None:
+    print(run_table4().render())
+    print()
+    print("per-kernel diagnosis (paper §4.4):")
+    for analysis in analyze_workload():
+        print(f"\nLFK{analysis.spec.number} ({analysis.spec.title}):")
+        for note in analysis.diagnose():
+            print(f"  - {note}")
+
+
+if __name__ == "__main__":
+    main()

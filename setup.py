@@ -1,0 +1,23 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works in offline environments whose setuptools
+predates PEP 660 support without the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "MACS hierarchical performance modeling for vector machines, "
+        "with a cycle-level Convex C-240 simulator "
+        "(Boyd & Davidson, ISCA 1993 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.20"],
+    entry_points={"console_scripts": ["macs-repro = repro.cli:main"]},
+)

@@ -1,0 +1,63 @@
+"""MACS hierarchical performance modeling — ISCA 1993 reproduction.
+
+This package reproduces *"Hierarchical Performance Modeling with MACS:
+A Case Study of the Convex C-240"* (Boyd & Davidson, ISCA 1993):
+
+* :mod:`repro.isa` — Convex-style vector instruction set;
+* :mod:`repro.machine` — cycle-level C-240 simulator (vector pipes,
+  chaining, bubbles, banked memory, refresh, multiprocessor contention);
+* :mod:`repro.lang` — mini-Fortran frontend for the Livermore kernels;
+* :mod:`repro.compiler` — vectorizing compiler (strip mining, register
+  allocation, Convex-style code generation);
+* :mod:`repro.schedule` — chime partitioning (paper §3.3);
+* :mod:`repro.model` — the MA / MAC / MACS bounds hierarchy, A/X
+  measurement tooling, calibration loops, and gap analysis (the paper's
+  core contribution);
+* :mod:`repro.workloads` — the ten Livermore Fortran Kernels of the
+  case study plus a synthetic loop generator;
+* :mod:`repro.experiments` — regeneration harnesses for every table and
+  figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import analyze_kernel
+    result = analyze_kernel("lfk1", n=1001)
+    print(result.report())
+"""
+
+from .errors import ReproError
+from .units import (
+    CLOCK_MHZ,
+    CLOCK_PERIOD_NS,
+    MAX_VL,
+    average_cpf,
+    cpf_to_mflops,
+    cpl_to_cpf,
+    harmonic_mean_mflops,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CLOCK_MHZ",
+    "CLOCK_PERIOD_NS",
+    "MAX_VL",
+    "ReproError",
+    "__version__",
+    "analyze_kernel",
+    "average_cpf",
+    "cpf_to_mflops",
+    "cpl_to_cpf",
+    "harmonic_mean_mflops",
+]
+
+
+def analyze_kernel(name, n: int | None = None, **kwargs):
+    """Run the full MACS hierarchy on a kernel.
+
+    Convenience wrapper re-exported at the top level; see
+    :func:`repro.model.hierarchy.analyze_kernel` for details.
+    """
+    from .model.hierarchy import analyze_kernel as _analyze
+
+    return _analyze(name, n=n, **kwargs)

@@ -1,0 +1,191 @@
+"""Command-line interface: ``macs-repro`` / ``python -m repro``.
+
+Subcommands::
+
+    macs-repro list                      # available experiments/kernels
+    macs-repro experiment table4         # regenerate one paper artifact
+    macs-repro experiment all            # regenerate everything
+    macs-repro analyze lfk1              # MACS hierarchy for one kernel
+    macs-repro compile lfk8              # show generated assembly
+    macs-repro run lfk3                  # simulate and report cycles
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .errors import ReproError
+from .experiments import EXPERIMENTS
+from .isa.printer import format_program
+from .model import analyze_kernel
+from .workloads import compile_spec, kernel, kernel_names, run_kernel
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("kernels:")
+    for name in kernel_names():
+        spec = kernel(name)
+        print(f"  {name}: {spec.title}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    if args.name == "all":
+        for name, run in EXPERIMENTS.items():
+            print(run().render())
+            print()
+        return 0
+    run = EXPERIMENTS.get(args.name)
+    if run is None:
+        print(
+            f"unknown experiment {args.name!r}; known: "
+            f"{', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(run().render())
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    analysis = analyze_kernel(args.kernel)
+    print(analysis.report())
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    compiled = compile_spec(kernel(args.kernel))
+    print(format_program(compiled.program))
+    for plan in compiled.loops:
+        status = "vectorized" if plan.vectorized else (
+            f"scalar fallback ({plan.reason})"
+        )
+        print(f"; loop over {plan.loop.var}: {status}")
+    return 0
+
+
+def _cmd_svg(args) -> int:
+    from .experiments.svg import write_figure2_svg, write_figure3_svg
+
+    writers = {"figure2": write_figure2_svg, "figure3": write_figure3_svg}
+    writer = writers.get(args.figure)
+    if writer is None:
+        print(
+            f"no SVG writer for {args.figure!r}; "
+            f"known: {', '.join(writers)}",
+            file=sys.stderr,
+        )
+        return 2
+    path = writer(args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .experiments.report import write_report
+
+    names = args.experiments if args.experiments else None
+    path = write_report(args.out, names)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    run = run_kernel(args.kernel, verify=not args.no_verify)
+    result = run.result
+    print(f"kernel          : {run.spec.name} ({run.spec.title})")
+    print(f"cycles          : {result.cycles:.0f}")
+    print(f"instructions    : {result.instructions_executed}")
+    print(f"vector ops      : {result.vector_instructions}")
+    print(f"flops           : {result.flops}")
+    print(f"CPL             : {run.cpl():.3f}")
+    print(f"CPF             : {run.cpf():.3f}")
+    print(f"MFLOPS          : {result.mflops:.2f}")
+    if not args.no_verify:
+        print("outputs verified against the NumPy reference")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="macs-repro",
+        description=(
+            "MACS hierarchical performance modeling "
+            "(Boyd & Davidson, ISCA 1993) reproduction"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and kernels")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", help="experiment name, or 'all'")
+
+    analyze = sub.add_parser(
+        "analyze", help="full MACS hierarchy for one kernel"
+    )
+    analyze.add_argument("kernel")
+
+    compile_cmd = sub.add_parser(
+        "compile", help="show a kernel's generated assembly"
+    )
+    compile_cmd.add_argument("kernel")
+
+    svg_cmd = sub.add_parser(
+        "svg", help="write a figure as an SVG document"
+    )
+    svg_cmd.add_argument("figure", help="figure2 or figure3")
+    svg_cmd.add_argument(
+        "--out", default=None,
+        help="output path (default: <figure>.svg)",
+    )
+
+    report_cmd = sub.add_parser(
+        "report", help="regenerate everything into one markdown report"
+    )
+    report_cmd.add_argument(
+        "--out", default="report.md", help="output path"
+    )
+    report_cmd.add_argument(
+        "experiments", nargs="*",
+        help="subset of experiments (default: all)",
+    )
+
+    run_cmd = sub.add_parser("run", help="simulate one kernel")
+    run_cmd.add_argument("kernel")
+    run_cmd.add_argument(
+        "--no-verify", action="store_true",
+        help="skip output verification",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) == "svg" and args.out is None:
+        args.out = f"{args.figure}.svg"
+    handlers = {
+        "list": _cmd_list,
+        "svg": _cmd_svg,
+        "report": _cmd_report,
+        "experiment": _cmd_experiment,
+        "analyze": _cmd_analyze,
+        "compile": _cmd_compile,
+        "run": _cmd_run,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""The vectorizing compiler: mini-Fortran → Convex-style assembly.
+
+Public surface:
+
+* :func:`compile_kernel` — one-call compilation;
+* :class:`CompiledKernel` — program + slot maps + per-loop diagnostics;
+* :class:`CompilerOptions` / :class:`ReductionStyle` — fc-behaviour
+  knobs used by the ablation experiments;
+* IR types (:class:`VectorLoopIR`, :class:`VectorOp`, :class:`Stream`)
+  and :func:`allocate_registers` for tooling that inspects compiled
+  loops.
+"""
+
+from .codegen import (
+    CodeGenerator,
+    CompiledKernel,
+    LoopPlan,
+    VZERO_SYMBOL,
+    compile_kernel,
+)
+from .ir import (
+    BINOP_KINDS,
+    Operand,
+    ReductionPlan,
+    ScalarKind,
+    ScalarOperand,
+    Stream,
+    VTemp,
+    VectorLoopIR,
+    VectorOp,
+    VectorOpKind,
+)
+from .options import DEFAULT_OPTIONS, CompilerOptions, ReductionStyle
+from .regalloc import (
+    AllocatedOp,
+    AllocationResult,
+    SPILL_SLOT_WORDS,
+    SPILL_SYMBOL,
+    allocate_registers,
+)
+from .scalar import (
+    LITERALS_SYMBOL,
+    SCALARS_SYMBOL,
+    ScalarCompiler,
+    ScalarEnvironment,
+)
+from .vectorizer import Vectorizer
+
+__all__ = [
+    "AllocatedOp",
+    "AllocationResult",
+    "BINOP_KINDS",
+    "CodeGenerator",
+    "CompiledKernel",
+    "CompilerOptions",
+    "DEFAULT_OPTIONS",
+    "LITERALS_SYMBOL",
+    "LoopPlan",
+    "Operand",
+    "ReductionPlan",
+    "ReductionStyle",
+    "SCALARS_SYMBOL",
+    "SPILL_SLOT_WORDS",
+    "SPILL_SYMBOL",
+    "ScalarCompiler",
+    "ScalarEnvironment",
+    "ScalarKind",
+    "ScalarOperand",
+    "Stream",
+    "VTemp",
+    "VZERO_SYMBOL",
+    "VectorLoopIR",
+    "VectorOp",
+    "VectorOpKind",
+    "Vectorizer",
+    "allocate_registers",
+    "compile_kernel",
+]

@@ -1,0 +1,168 @@
+"""Vector intermediate representation.
+
+One vectorized loop iteration is represented as a straight-line list of
+:class:`VectorOp` over virtual vector temporaries (:class:`VTemp`) and
+scalar operands (:class:`ScalarOperand` — values that live in ``s``
+registers for the whole loop: runtime scalars, literal constants, and
+hoisted loop-invariant subexpressions).
+
+Memory traffic is expressed through :class:`Stream` records; streams
+with equal word stride and equal symbolic base share one address
+register (:class:`StreamGroup`), which is how the Convex listings get
+their single running ``(a5)`` offset with per-array displacements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import CompileError
+from ..lang.analysis import LinearForm
+from ..lang.ast import Expr
+
+
+@dataclass(frozen=True)
+class VTemp:
+    """A virtual vector register."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"t{self.index}"
+
+
+class ScalarKind(enum.Enum):
+    VARIABLE = "variable"  # runtime scalar read from memory
+    LITERAL = "literal"  # floating point literal from the source
+    HOISTED = "hoisted"  # loop-invariant scalar subexpression
+
+
+@dataclass(frozen=True)
+class ScalarOperand:
+    """A loop-invariant scalar participating in vector arithmetic."""
+
+    kind: ScalarKind
+    name: str  # variable name, or synthetic id for literals/hoisted
+    value: float | None = None  # literal value when kind is LITERAL
+    expr: Expr | None = None  # AST when kind is HOISTED
+
+    def __repr__(self) -> str:
+        return f"s:{self.name}"
+
+
+Operand = VTemp | ScalarOperand
+
+
+class VectorOpKind(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    NEG = "neg"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (VectorOpKind.LOAD, VectorOpKind.STORE)
+
+
+#: AST binary operators to IR op kinds.
+BINOP_KINDS = {
+    "+": VectorOpKind.ADD,
+    "-": VectorOpKind.SUB,
+    "*": VectorOpKind.MUL,
+    "/": VectorOpKind.DIV,
+}
+
+
+@dataclass
+class Stream:
+    """One memory stream of the vectorized loop.
+
+    ``base`` is the word offset of the t=0 element as a linear form
+    over loop-invariant scalars; ``stride_words`` the per-iteration
+    advance.  ``array`` names the data symbol.
+    """
+
+    array: str
+    stride_words: int
+    base: LinearForm
+    is_store: bool
+
+    def group_signature(self) -> tuple:
+        """Streams with equal signatures share an address register."""
+        symbolic = tuple(
+            sorted((c, str(e)) for c, e in self.base.symbolic)
+        )
+        return (self.stride_words, symbolic)
+
+
+@dataclass
+class VectorOp:
+    """One vector instruction's worth of work."""
+
+    kind: VectorOpKind
+    inputs: tuple[Operand, ...]
+    output: VTemp | None
+    stream: Stream | None = None
+
+    def __post_init__(self):
+        if self.kind.is_memory and self.stream is None:
+            raise CompileError(f"{self.kind} op requires a stream")
+        if self.kind is VectorOpKind.STORE and self.output is not None:
+            raise CompileError("store has no vector output")
+        vector_inputs = [i for i in self.inputs if isinstance(i, VTemp)]
+        if self.kind in (
+            VectorOpKind.ADD,
+            VectorOpKind.SUB,
+            VectorOpKind.MUL,
+            VectorOpKind.DIV,
+        ):
+            if len(self.inputs) != 2:
+                raise CompileError(f"{self.kind} needs two inputs")
+            if not vector_inputs:
+                raise CompileError(
+                    f"{self.kind}: at least one input must be a vector "
+                    "(scalar-scalar work should be hoisted)"
+                )
+
+    def __repr__(self) -> str:
+        ins = ", ".join(repr(i) for i in self.inputs)
+        out = f" -> {self.output!r}" if self.output else ""
+        mem = f" [{self.stream.array}]" if self.stream else ""
+        return f"{self.kind.value}({ins}){out}{mem}"
+
+
+@dataclass
+class ReductionPlan:
+    """How a reduction is compiled (chosen in the vectorizer)."""
+
+    #: '+' or '-'
+    op: str
+    #: ScalarOperand naming the accumulator's home (variable or array
+    #: element handled by codegen)
+    style: str  # 'partial-sums' | 'direct-sum'
+    #: vector temp holding the per-iteration contribution
+    contribution: VTemp
+    #: pinned accumulator vector temp (partial-sums only)
+    accumulator: VTemp | None = None
+
+
+@dataclass
+class VectorLoopIR:
+    """The vectorizer's output for one inner loop."""
+
+    ops: list[VectorOp] = field(default_factory=list)
+    scalars: list[ScalarOperand] = field(default_factory=list)
+    streams: list[Stream] = field(default_factory=list)
+    reduction: ReductionPlan | None = None
+    #: temps that must keep their register across the whole loop
+    pinned: set[VTemp] = field(default_factory=set)
+
+    def vector_memory_ops(self) -> int:
+        return sum(1 for op in self.ops if op.kind.is_memory)
+
+    def vector_fp_ops(self) -> int:
+        return sum(1 for op in self.ops if not op.kind.is_memory)

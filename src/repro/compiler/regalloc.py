@@ -1,0 +1,247 @@
+"""Vector register allocation (v0–v7) for the loop body IR.
+
+A forward linear scan with on-the-fly spilling:
+
+* temps are assigned the lowest free register at their definition;
+* registers free as soon as their temp's last use has been emitted
+  (the defining op may reuse one of its own inputs' registers,
+  matching the in-place ``add.d v1,v0,v1`` idiom);
+* pinned temps (reduction accumulators) hold their register across the
+  whole loop;
+* under pressure, the live temp with the furthest next use is spilled
+  to the ``VSPILL`` scratch area (one 128-word slot per value) and
+  reloaded before its next use.  Spill traffic is real vector memory
+  traffic and therefore inflates the MAC bound, exactly as compiler
+  spilling does in the paper's model (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RegisterAllocationError
+from ..lang.analysis import LinearForm
+from .ir import (
+    ScalarOperand,
+    Stream,
+    VTemp,
+    VectorLoopIR,
+    VectorOp,
+    VectorOpKind,
+)
+
+#: Name of the data symbol backing spill slots.
+SPILL_SYMBOL = "VSPILL"
+#: Words per spill slot (one full vector register).
+SPILL_SLOT_WORDS = 128
+
+NUM_VECTOR_REGS = 8
+
+
+@dataclass
+class AllocatedOp:
+    """A vector op with physical register assignments.
+
+    ``input_regs`` parallels ``op.inputs``: an ``int`` register number
+    for vector inputs, the :class:`ScalarOperand` itself for scalars.
+    """
+
+    op: VectorOp
+    input_regs: tuple[int | ScalarOperand, ...]
+    output_reg: int | None
+
+
+@dataclass
+class AllocationResult:
+    ops: list[AllocatedOp]
+    spill_slots_used: int
+    spill_stores: int
+    spill_loads: int
+    #: register of each pinned temp (held for the whole loop)
+    pinned_regs: dict[VTemp, int] = field(default_factory=dict)
+    #: register assignments live at the end of the body (for temps the
+    #: loop epilogue consumes, e.g. a direct-sum contribution)
+    final_regs: dict[VTemp, int] = field(default_factory=dict)
+
+
+def _spill_stream(slot: int, is_store: bool) -> Stream:
+    return Stream(
+        array=SPILL_SYMBOL,
+        stride_words=1,
+        base=LinearForm(const=slot * SPILL_SLOT_WORDS),
+        is_store=is_store,
+    )
+
+
+class _Allocator:
+    def __init__(self, ir: VectorLoopIR):
+        self.ir = ir
+        self.last_use = self._compute_last_uses()
+        self.reg_of: dict[VTemp, int] = {}
+        self.spill_slot: dict[VTemp, int] = {}
+        self.free = list(range(NUM_VECTOR_REGS))
+        self.next_spill_slot = 0
+        self.result: list[AllocatedOp] = []
+        self.spill_stores = 0
+        self.spill_loads = 0
+        # Pinned temps (accumulators) get their register up front: the
+        # loop preheader initializes them before the body runs.
+        self.pinned_regs: dict[VTemp, int] = {}
+        for temp in sorted(ir.pinned, key=lambda t: t.index):
+            if not self.free:
+                raise RegisterAllocationError(
+                    "more pinned temps than vector registers"
+                )
+            reg = self.free.pop(0)
+            self.reg_of[temp] = reg
+            self.pinned_regs[temp] = reg
+        # Register pairs written by the last few ops: a chime allows
+        # only one write per pair, so consecutive definitions should
+        # land in distinct pairs or the scheduler must split chimes.
+        self._recent_write_pairs: list[int] = []
+
+    def _compute_last_uses(self) -> dict[VTemp, int]:
+        last: dict[VTemp, int] = {}
+        n = len(self.ir.ops)
+        for index, op in enumerate(self.ir.ops):
+            for operand in op.inputs:
+                if isinstance(operand, VTemp):
+                    last[operand] = index
+            if op.output is not None:
+                last.setdefault(op.output, index)
+        reduction = self.ir.reduction
+        if reduction is not None:
+            # The contribution (direct-sum) or accumulator (partial) is
+            # consumed by code emitted after the body: keep it live.
+            last[reduction.contribution] = n
+            if reduction.accumulator is not None:
+                last[reduction.accumulator] = n
+        for pinned in self.ir.pinned:
+            last[pinned] = n
+        return last
+
+    # ------------------------------------------------------------------
+
+    def _next_use_after(self, temp: VTemp, index: int) -> int:
+        for later in range(index, len(self.ir.ops)):
+            op = self.ir.ops[later]
+            if temp in op.inputs or op.output == temp:
+                return later
+        return len(self.ir.ops) + 1
+
+    def _spill_victim(self, index: int, protect: set[VTemp]) -> VTemp:
+        candidates = [
+            t for t in self.reg_of
+            if t not in protect and t not in self.ir.pinned
+        ]
+        if not candidates:
+            raise RegisterAllocationError(
+                f"op {index}: all {NUM_VECTOR_REGS} vector registers are "
+                "pinned or in use by the current op"
+            )
+        return max(candidates, key=lambda t: self._next_use_after(t, index))
+
+    def _take_register(self, index: int, protect: set[VTemp]) -> int:
+        if self.free:
+            for position, reg in enumerate(self.free):
+                if reg % 4 not in self._recent_write_pairs:
+                    return self.free.pop(position)
+            return self.free.pop(0)
+        victim = self._spill_victim(index, protect)
+        slot = self.spill_slot.get(victim)
+        if slot is None:
+            slot = self.next_spill_slot
+            self.next_spill_slot += 1
+            self.spill_slot[victim] = slot
+        reg = self.reg_of.pop(victim)
+        store = VectorOp(
+            VectorOpKind.STORE, (victim,), None,
+            stream=_spill_stream(slot, is_store=True),
+        )
+        self.result.append(AllocatedOp(store, (reg,), None))
+        self.spill_stores += 1
+        return reg
+
+    def _ensure_in_register(
+        self, temp: VTemp, index: int, protect: set[VTemp]
+    ) -> int:
+        reg = self.reg_of.get(temp)
+        if reg is not None:
+            return reg
+        slot = self.spill_slot.get(temp)
+        if slot is None:
+            raise RegisterAllocationError(
+                f"op {index}: temp {temp!r} used before definition"
+            )
+        reg = self._take_register(index, protect)
+        load = VectorOp(
+            VectorOpKind.LOAD, (), temp,
+            stream=_spill_stream(slot, is_store=False),
+        )
+        self.result.append(AllocatedOp(load, (), reg))
+        self.spill_loads += 1
+        self.reg_of[temp] = reg
+        return reg
+
+    def _release_if_dead(self, temp: VTemp, index: int) -> None:
+        if temp in self.ir.pinned:
+            return
+        if self.last_use.get(temp, -1) <= index:
+            reg = self.reg_of.pop(temp, None)
+            if reg is not None and reg not in self.free:
+                # FIFO reuse (round-robin): maximizing the distance
+                # before a register is redefined keeps writers from
+                # stalling on recent readers (WAR) in the pipeline.
+                self.free.append(reg)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> AllocationResult:
+        for index, op in enumerate(self.ir.ops):
+            vector_inputs = {
+                operand for operand in op.inputs
+                if isinstance(operand, VTemp)
+            }
+            protect = set(vector_inputs)
+            if op.output is not None:
+                protect.add(op.output)
+            input_regs: list[int | ScalarOperand] = []
+            for operand in op.inputs:
+                if isinstance(operand, VTemp):
+                    input_regs.append(
+                        self._ensure_in_register(operand, index, protect)
+                    )
+                else:
+                    input_regs.append(operand)
+            # Free dying inputs before assigning the output so the op
+            # can write in place.
+            for operand in vector_inputs:
+                self._release_if_dead(operand, index)
+            output_reg: int | None = None
+            if op.output is not None:
+                existing = self.reg_of.get(op.output)
+                if existing is not None:  # in-place update (accumulator)
+                    output_reg = existing
+                else:
+                    output_reg = self._take_register(index, protect)
+                    self.reg_of[op.output] = output_reg
+            self.result.append(AllocatedOp(op, tuple(input_regs), output_reg))
+            if output_reg is not None:
+                self._recent_write_pairs.append(output_reg % 4)
+                if len(self._recent_write_pairs) > 2:
+                    self._recent_write_pairs.pop(0)
+            if op.output is not None:
+                self._release_if_dead(op.output, index)
+        return AllocationResult(
+            ops=self.result,
+            spill_slots_used=self.next_spill_slot,
+            spill_stores=self.spill_stores,
+            spill_loads=self.spill_loads,
+            pinned_regs=dict(self.pinned_regs),
+            final_regs=dict(self.reg_of),
+        )
+
+
+def allocate_registers(ir: VectorLoopIR) -> AllocationResult:
+    """Assign v-registers to the loop IR, spilling if needed."""
+    return _Allocator(ir).run()

@@ -1,0 +1,104 @@
+"""Experiment harnesses regenerating every table and figure.
+
+One ``run_*`` function per paper artifact, each returning an
+:class:`~repro.experiments.formatting.ExperimentResult`:
+
+* :func:`run_table1` … :func:`run_table5`;
+* :func:`run_figure1` … :func:`run_figure3`;
+* :func:`run_walkthrough` (§3.5), :func:`run_contention` (§4.2);
+* the five ``run_ablation_*`` studies.
+
+:func:`run_all` / :data:`EXPERIMENTS` drive everything (used by the
+CLI and the benchmark suite).
+"""
+
+from collections.abc import Callable
+
+from .ablations import (
+    AblationRow,
+    run_ablation_bubbles,
+    run_ablation_pairs,
+    run_ablation_refresh,
+    run_ablation_reuse,
+    run_ablation_scalar_splits,
+)
+from .cache_study import run_cache_study
+from .contention import run_contention
+from .extensions import (
+    run_advisor,
+    run_extension_dbound,
+    run_extension_short_vectors,
+)
+from .figure1 import run_figure1
+from .report import generate_report, write_report
+from .vlstudy import n_half_from_curve, run_vector_length_study
+from .figure2 import run_figure2
+from .figure3 import run_figure3
+from .formatting import ExperimentResult, TextTable
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+from .walkthrough import run_walkthrough
+
+#: Registry of every experiment, in paper order.
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "figure1": run_figure1,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "walkthrough": run_walkthrough,
+    "contention": run_contention,
+    "scalar-cache": run_cache_study,
+    "vector-length": run_vector_length_study,
+    "extension-short-vectors": run_extension_short_vectors,
+    "extension-dbound": run_extension_dbound,
+    "advisor": run_advisor,
+    "ablation-bubbles": run_ablation_bubbles,
+    "ablation-refresh": run_ablation_refresh,
+    "ablation-reuse": run_ablation_reuse,
+    "ablation-pairs": run_ablation_pairs,
+    "ablation-scalar-splits": run_ablation_scalar_splits,
+}
+
+
+def run_all() -> list[ExperimentResult]:
+    """Run every registered experiment, in paper order."""
+    return [run() for run in EXPERIMENTS.values()]
+
+
+__all__ = [
+    "AblationRow",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "TextTable",
+    "run_ablation_bubbles",
+    "run_advisor",
+    "run_ablation_pairs",
+    "run_ablation_refresh",
+    "run_ablation_reuse",
+    "run_ablation_scalar_splits",
+    "run_all",
+    "run_cache_study",
+    "run_contention",
+    "run_extension_dbound",
+    "run_extension_short_vectors",
+    "generate_report",
+    "n_half_from_curve",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_vector_length_study",
+    "run_walkthrough",
+    "write_report",
+]

@@ -1,0 +1,72 @@
+"""Scalar-cache sensitivity study.
+
+The paper lists "cache miss ... effects" among the unmodeled
+contributors (§3.2): the ASU has a data cache that scalar accesses go
+through and the VP bypasses (§2).  The base machine model uses a flat
+scalar-load latency; this experiment switches the explicit
+direct-mapped cache model on and reports how each kernel's delivered
+CPF and scalar hit rate respond.
+
+Expected shape: vector-dominated kernels barely move (few scalar
+loads, all of which are loop-invariant constants that hit after first
+touch); scalar-heavy kernels (LFK2's halving control, LFK8's spilled
+constants) speed up mildly because their repeated scalar loads hit at
+2 cycles instead of the flat 4.
+"""
+
+from __future__ import annotations
+
+from ..compiler import CompilerOptions, DEFAULT_OPTIONS
+from ..machine import DEFAULT_CONFIG, MachineConfig
+from ..workloads import CASE_STUDY_KERNELS, compile_spec, run_kernel
+from .formatting import ExperimentResult, TextTable
+
+
+def run_cache_study(
+    options: CompilerOptions = DEFAULT_OPTIONS,
+    config: MachineConfig = DEFAULT_CONFIG,
+) -> ExperimentResult:
+    cached_config = config.with_scalar_cache()
+    table = TextTable(
+        ["LFK", "flat CPF", "cached CPF", "change%", "loads",
+         "hit rate"]
+    )
+    rows = []
+    for spec in CASE_STUDY_KERNELS:
+        compiled = compile_spec(spec, options)
+        flat = run_kernel(spec, options, config, compiled=compiled)
+        cached = run_kernel(
+            spec, options, cached_config, compiled=compiled
+        )
+        stats = cached.result.scalar_cache
+        change = 100.0 * (cached.cpf() / flat.cpf() - 1.0)
+        table.add_row(
+            spec.number,
+            flat.cpf(),
+            cached.cpf(),
+            f"{change:+.1f}",
+            stats.accesses,
+            f"{stats.hit_rate:.2f}",
+        )
+        rows.append(
+            {
+                "kernel": spec.number,
+                "flat_cpf": flat.cpf(),
+                "cached_cpf": cached.cpf(),
+                "change_percent": change,
+                "accesses": stats.accesses,
+                "hit_rate": stats.hit_rate,
+            }
+        )
+    return ExperimentResult(
+        artifact="Study",
+        title="ASU scalar-cache sensitivity (§3.2's unmodeled cache "
+              "effects)",
+        body=table.render(),
+        notes=[
+            "flat model: every scalar load at 4 cycles; cache model: "
+            "2-cycle hits / 14-cycle misses, direct-mapped 64x4 words",
+            "vector streams bypass the cache (paper §2)",
+        ],
+        data={"rows": rows},
+    )

@@ -1,0 +1,172 @@
+"""Experiments for the paper's proposed extensions.
+
+Three directions the paper names but does not evaluate:
+
+* §4.4 — modeling outer-loop overhead and short vectors "as in [5]"
+  (:func:`run_extension_short_vectors`, using
+  :func:`repro.model.extension.extended_macs_bound`);
+* §3.1 — the fifth degree of freedom **D** binding the data allocation
+  (:func:`run_extension_dbound`, with synthetic power-of-two-stride
+  kernels where bank conflicts dominate);
+* the conclusion's goal-directed optimization advisor
+  (:func:`run_advisor`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..compiler import compile_kernel
+from ..machine import DEFAULT_CONFIG, MachineConfig, Simulator
+from ..model import (
+    analyze_workload,
+    extended_macs_bound,
+    macs_bound,
+    macs_d_bound,
+)
+from ..model.advisor import advise
+from .formatting import ExperimentResult, TextTable
+
+
+def run_extension_short_vectors(
+    config: MachineConfig = DEFAULT_CONFIG,
+) -> ExperimentResult:
+    """Extended MACS vs base MACS vs measured, per kernel."""
+    analyses = analyze_workload(config=config)
+    table = TextTable(
+        ["LFK", "t_MACS", "t_XMACS", "t_p", "%MACS", "%XMACS",
+         "entries"]
+    )
+    rows = []
+    for analysis in analyses:
+        extended = extended_macs_bound(
+            analysis.compiled, analysis.spec.trip_profile
+        )
+        base_pct = 100.0 * analysis.macs.cpl / analysis.t_p_cpl
+        ext_pct = 100.0 * extended.cpl / analysis.t_p_cpl
+        table.add_row(
+            analysis.spec.number,
+            f"{analysis.macs.cpl:.2f}",
+            f"{extended.cpl:.2f}",
+            f"{analysis.t_p_cpl:.2f}",
+            f"{base_pct:.1f}%",
+            f"{ext_pct:.1f}%",
+            extended.entries,
+        )
+        rows.append(
+            {
+                "kernel": analysis.spec.number,
+                "macs": analysis.macs.cpl,
+                "xmacs": extended.cpl,
+                "t_p": analysis.t_p_cpl,
+                "base_percent": base_pct,
+                "extended_percent": ext_pct,
+            }
+        )
+    return ExperimentResult(
+        artifact="Extension",
+        title="short-vector / outer-overhead extended MACS (paper §4.4)",
+        body=table.render(),
+        notes=[
+            "XMACS evaluates chimes at the actual trip profile and "
+            "charges per-entry overhead; it is a model, not a strict "
+            "bound (it may sit within ~1% above t_p on steady kernels)",
+            "the paper's unexplained kernels (LFK 2, 4, 6) move from "
+            "~43-74% explained to ~80-90%",
+        ],
+        data={"rows": rows},
+    )
+
+
+_STRIDED_TEMPLATE = """
+      DIMENSION A({rows},300), B({rows},300), C({rows},300)
+      DO 1 k = 1,n
+    1 C(1,k) = A(1,k) + B(1,k)
+"""
+
+
+def _strided_kernel(stride: int):
+    return compile_kernel(
+        _STRIDED_TEMPLATE.format(rows=stride), f"strided{stride}"
+    )
+
+
+def run_extension_dbound(
+    config: MachineConfig = DEFAULT_CONFIG,
+    n: int = 256,
+) -> ExperimentResult:
+    """MACS vs MACS-D vs measured for power-of-two allocations.
+
+    The same two-load/one-store loop is compiled against arrays whose
+    leading dimension forces element strides of 1, 8, 16 and 32 words:
+    the base MACS bound is blind to the allocation, MACS-D tracks the
+    bank-limited rate the simulator actually delivers.
+    """
+    table = TextTable(
+        ["stride", "t_MACS", "t_MACS-D", "measured", "rate"]
+    )
+    rows = []
+    for stride in (1, 8, 16, 32):
+        compiled = _strided_kernel(stride)
+        base = macs_bound(compiled.program)
+        dbound = macs_d_bound(compiled.program, config=config)
+        sim = Simulator(compiled.program, config)
+        for name, values in compiled.initial_data().items():
+            sim.load_symbol(name, values)
+        sim.memory.load_array(
+            compiled.scalar_word_offset("n"), np.asarray([float(n)])
+        )
+        result = sim.run()
+        measured = result.cycles / n
+        table.add_row(
+            stride,
+            f"{base.cpl:.2f}",
+            f"{dbound.cpl:.2f}",
+            f"{measured:.2f}",
+            f"{dbound.worst_stream_rate:.0f}x",
+        )
+        rows.append(
+            {
+                "stride": stride,
+                "macs": base.cpl,
+                "macs_d": dbound.cpl,
+                "measured": measured,
+                "worst_rate": dbound.worst_stream_rate,
+            }
+        )
+    return ExperimentResult(
+        artifact="Extension",
+        title="MACS-D: binding the data allocation (paper §3.1's "
+              "fifth degree of freedom)",
+        body=table.render(),
+        notes=[
+            "32 banks, 8-cycle bank busy time: stride-32 streams "
+            "serialize one bank at 8 cycles/element",
+            "MACS is allocation-blind; MACS-D follows the measured "
+            "degradation",
+        ],
+        data={"rows": rows},
+    )
+
+
+def run_advisor() -> ExperimentResult:
+    """Ranked optimization advice for every case-study kernel."""
+    analyses = analyze_workload()
+    lines = []
+    data = {}
+    for analysis in analyses:
+        items = advise(analysis)
+        data[analysis.spec.number] = items
+        lines.append(
+            f"LFK{analysis.spec.number} "
+            f"(measured {analysis.t_p_cpl:.2f} CPL):"
+        )
+        for rank, advice in enumerate(items, start=1):
+            lines.append(f"  {rank}. {advice.render(analysis.t_p_cpl)}")
+        lines.append("")
+    return ExperimentResult(
+        artifact="Extension",
+        title="goal-directed optimization advice (paper conclusion)",
+        body="\n".join(lines).rstrip(),
+        data={"advice": data},
+    )

@@ -1,0 +1,15 @@
+"""Figure 1: the hierarchy of performance models and measurements."""
+
+from __future__ import annotations
+
+from ..model import render_hierarchy
+from .formatting import ExperimentResult
+
+
+def run_figure1() -> ExperimentResult:
+    return ExperimentResult(
+        artifact="Figure 1",
+        title="Hierarchy of performance models and measurements",
+        body=render_hierarchy(),
+        data={},
+    )

@@ -1,0 +1,70 @@
+"""Fixed-width text tables for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+
+
+class TextTable:
+    """A simple column-aligned table renderer.
+
+    Numeric cells are right-aligned, text cells left-aligned; pass
+    preformatted strings for full control.
+    """
+
+    def __init__(self, columns: list[str]):
+        if not columns:
+            raise ExperimentError("table needs at least one column")
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    @staticmethod
+    def _format_cell(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.columns):
+            raise ExperimentError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([self._format_cell(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = "  ".join(
+            c.ljust(w) for c, w in zip(self.columns, widths)
+        )
+        rule = "  ".join("-" * w for w in widths)
+        lines = [header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one regenerated table or figure."""
+
+    artifact: str  # e.g. "Table 4"
+    title: str
+    body: str
+    notes: list[str] = field(default_factory=list)
+    #: raw data for programmatic checks (tests, benches)
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"== {self.artifact}: {self.title} ==", "", self.body]
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""One-shot report generation: every experiment into one document.
+
+``macs-repro report --out report.md`` regenerates every registered
+experiment and assembles a single markdown document — the complete
+paper-vs-reproduction record in one artifact.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .formatting import ExperimentResult
+
+
+def _section(result: ExperimentResult) -> str:
+    buffer = io.StringIO()
+    buffer.write(f"## {result.artifact}: {result.title}\n\n")
+    buffer.write("```\n")
+    buffer.write(result.body)
+    buffer.write("\n```\n")
+    for note in result.notes:
+        buffer.write(f"\n> {note}\n")
+    return buffer.getvalue()
+
+
+def generate_report(experiment_names: list[str] | None = None) -> str:
+    """Run experiments (all registered by default) and render markdown."""
+    from . import EXPERIMENTS
+
+    names = list(EXPERIMENTS) if experiment_names is None else \
+        experiment_names
+    sections = [
+        "# MACS reproduction report",
+        "",
+        "Regenerated tables, figures, studies and ablations for "
+        "*Hierarchical Performance Modeling with MACS* "
+        "(Boyd & Davidson, ISCA 1993).",
+        "",
+    ]
+    for name in names:
+        runner = EXPERIMENTS.get(name)
+        if runner is None:
+            from ..errors import ExperimentError
+
+            raise ExperimentError(
+                f"unknown experiment {name!r}; known: "
+                f"{', '.join(EXPERIMENTS)}"
+            )
+        sections.append(_section(runner()))
+    return "\n".join(sections)
+
+
+def write_report(
+    path: str, experiment_names: list[str] | None = None
+) -> str:
+    """Generate and write the report; returns the path."""
+    document = generate_report(experiment_names)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return path

@@ -1,0 +1,218 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+The text harnesses in :mod:`repro.experiments` print ASCII charts; this
+module regenerates Figure 2 (pipeline-occupancy timeline) and Figure 3
+(grouped CPF bars) as standalone SVG documents, using nothing beyond
+the standard library.
+
+    from repro.experiments.svg import write_figure3_svg
+    write_figure3_svg("figure3.svg")
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+
+#: Series colors (Okabe-Ito, color-blind safe).
+PALETTE = {
+    "ma": "#0072B2",
+    "mac": "#56B4E9",
+    "macs": "#009E73",
+    "single": "#E69F00",
+    "multi": "#D55E00",
+}
+
+PIPE_COLORS = {
+    "load/store": "#0072B2",
+    "add": "#009E73",
+    "multiply": "#E69F00",
+}
+
+
+@dataclass
+class SvgCanvas:
+    """A tiny append-only SVG document builder."""
+
+    width: int
+    height: int
+    elements: list[str] = field(default_factory=list)
+
+    def rect(self, x, y, w, h, fill, opacity=1.0, title=None):
+        if w < 0 or h < 0:
+            raise ExperimentError(
+                f"negative rect dimensions ({w} x {h})"
+            )
+        tooltip = (
+            f"<title>{html.escape(title)}</title>" if title else ""
+        )
+        self.elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{fill}" '
+            f'fill-opacity="{opacity}">{tooltip}</rect>'
+        )
+
+    def line(self, x1, y1, x2, y2, stroke="#999", width=1.0):
+        self.elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{stroke}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def text(self, x, y, content, size=11, anchor="start",
+             color="#222"):
+        self.elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{color}">{html.escape(str(content))}</text>'
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self.elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" '
+            f'fill="white"/>\n{body}\n</svg>\n'
+        )
+
+
+# ----------------------------------------------------------------------
+# Figure 3: grouped CPF bars
+# ----------------------------------------------------------------------
+
+
+def figure3_svg(series: list[dict]) -> str:
+    """Grouped-bar SVG from :func:`run_figure3`'s data series."""
+    if not series:
+        raise ExperimentError("figure 3 series is empty")
+    keys = ("ma", "mac", "macs", "single", "multi")
+    margin_left, margin_bottom, margin_top = 50, 40, 30
+    bar_width, bar_gap, group_gap = 14, 2, 22
+    group_width = len(keys) * (bar_width + bar_gap) + group_gap
+    width = margin_left + group_width * len(series) + 140
+    height = 320
+    plot_height = height - margin_bottom - margin_top
+    max_value = max(row[k] for row in series for k in keys) * 1.08
+
+    canvas = SvgCanvas(width, height)
+    canvas.text(margin_left, 18,
+                "CPF per kernel: bounds vs single/multi-process runs",
+                size=13)
+    # y axis with gridlines
+    steps = 5
+    for i in range(steps + 1):
+        value = max_value * i / steps
+        y = height - margin_bottom - plot_height * i / steps
+        canvas.line(margin_left, y, width - 130, y, stroke="#e5e5e5")
+        canvas.text(margin_left - 6, y + 4, f"{value:.1f}",
+                    size=9, anchor="end", color="#666")
+    canvas.line(margin_left, height - margin_bottom,
+                width - 130, height - margin_bottom, stroke="#444")
+
+    for group, row in enumerate(series):
+        x0 = margin_left + 8 + group * group_width
+        for i, key in enumerate(keys):
+            value = row[key]
+            bar_height = plot_height * value / max_value
+            canvas.rect(
+                x0 + i * (bar_width + bar_gap),
+                height - margin_bottom - bar_height,
+                bar_width, bar_height, PALETTE[key],
+                title=f"LFK{row['kernel']} {key}: {value:.3f} CPF",
+            )
+        canvas.text(
+            x0 + group_width / 2 - group_gap / 2,
+            height - margin_bottom + 16,
+            f"LFK{row['kernel']}", size=10, anchor="middle",
+        )
+
+    # legend
+    legend_x = width - 120
+    for i, key in enumerate(keys):
+        y = margin_top + 20 + i * 18
+        canvas.rect(legend_x, y - 10, 12, 12, PALETTE[key])
+        canvas.text(legend_x + 18, y, key, size=11)
+    return canvas.render()
+
+
+def write_figure3_svg(path: str) -> str:
+    """Regenerate Figure 3 and write it as SVG; returns the path."""
+    from .figure3 import run_figure3
+
+    document = figure3_svg(run_figure3().data["series"])
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Figure 2: pipeline occupancy timeline
+# ----------------------------------------------------------------------
+
+
+def figure2_svg(occupancies) -> str:
+    """Gantt-style SVG from :func:`repro.machine.vector_occupancies`."""
+    if not occupancies:
+        raise ExperimentError("figure 2 occupancy list is empty")
+    margin_left, margin_top = 120, 40
+    row_height, row_gap = 16, 6
+    plot_width = 640
+    t0 = min(o.start for o in occupancies)
+    t1 = max(o.complete for o in occupancies)
+    span = max(t1 - t0, 1.0)
+    height = margin_top + len(occupancies) * (row_height + row_gap) + 40
+    width = margin_left + plot_width + 30
+
+    def x_of(t: float) -> float:
+        return margin_left + plot_width * (t - t0) / span
+
+    canvas = SvgCanvas(width, height)
+    canvas.text(margin_left, 20,
+                "Chaining with tailgating in the function unit "
+                "pipelines (Figure 2)", size=13)
+    for tick in range(5):
+        t = t0 + span * tick / 4
+        x = x_of(t)
+        canvas.line(x, margin_top - 6, x, height - 30,
+                    stroke="#e5e5e5")
+        canvas.text(x, height - 14, f"{t:.0f}", size=9,
+                    anchor="middle", color="#666")
+
+    for row, occ in enumerate(occupancies):
+        y = margin_top + row * (row_height + row_gap)
+        color = PIPE_COLORS.get(occ.pipe.value, "#888")
+        canvas.text(margin_left - 8, y + row_height - 4,
+                    f"{occ.name} [{occ.pipe.value}]", size=10,
+                    anchor="end")
+        canvas.rect(
+            x_of(occ.start), y,
+            max(x_of(occ.complete) - x_of(occ.start), 1.0),
+            row_height, color, opacity=0.75,
+            title=(
+                f"{occ.name}: start {occ.start:.0f}, first result "
+                f"{occ.first_result:.0f}, complete {occ.complete:.0f}"
+            ),
+        )
+        fx = x_of(occ.first_result)
+        canvas.line(fx, y, fx, y + row_height, stroke="#000",
+                    width=1.5)
+    return canvas.render()
+
+
+def write_figure2_svg(path: str, chimes: int = 3) -> str:
+    """Simulate the Figure 2 chime sequence and write the SVG."""
+    from ..machine import MachineConfig, Simulator, vector_occupancies
+    from .figure2 import _build_chimes
+
+    sim = Simulator(
+        _build_chimes(chimes), MachineConfig().without_refresh()
+    )
+    result = sim.run(record_trace=True)
+    document = figure2_svg(vector_occupancies(result.trace))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return path

@@ -1,0 +1,53 @@
+"""Table 3: performance bounds in CPL, with dominant components.
+
+``t_f``/``t_m`` per hierarchy level; the component that dominates each
+bound is marked ``*`` (the paper boldfaces it).
+"""
+
+from __future__ import annotations
+
+from ..compiler import CompilerOptions, DEFAULT_OPTIONS
+from ..model import analyze_workload
+from .formatting import ExperimentResult, TextTable
+
+
+def run_table3(
+    options: CompilerOptions = DEFAULT_OPTIONS,
+) -> ExperimentResult:
+    analyses = analyze_workload(options=options, measure=False)
+    table = TextTable(
+        ["LFK", "t_f", "t_m", "t_MA",
+         "t_f'", "t_m'", "t_MAC",
+         "t_f''", "t_m''", "t_MACS"]
+    )
+
+    def mark(value: float, dominant: bool) -> str:
+        text = f"{value:.2f}"
+        return text + ("*" if dominant else " ")
+
+    for analysis in analyses:
+        ma, mac = analysis.ma, analysis.mac
+        f2 = analysis.macs_f.cpl
+        m2 = analysis.macs_m.cpl
+        table.add_row(
+            analysis.spec.number,
+            mark(ma.t_f, not ma.memory_bound),
+            mark(ma.t_m, ma.memory_bound),
+            f"{ma.cpl:.2f}",
+            mark(mac.t_f, not mac.memory_bound),
+            mark(mac.t_m, mac.memory_bound),
+            f"{mac.cpl:.2f}",
+            mark(f2, f2 >= m2),
+            mark(m2, m2 > f2),
+            f"{analysis.macs.cpl:.2f}",
+        )
+    return ExperimentResult(
+        artifact="Table 3",
+        title="Performance bounds (CPL); '*' marks the dominant term",
+        body=table.render(),
+        notes=[
+            "t_MACS is not max(t_f'', t_m''): imperfect chime merging "
+            "(resource conflicts, scalar-memory splits) adds time",
+        ],
+        data={"analyses": analyses},
+    )

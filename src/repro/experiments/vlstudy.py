@@ -1,0 +1,102 @@
+"""Vector-length study: CPF vs problem size, and Hockney's n_1/2.
+
+The paper's §3.2 notes that start-up overheads make short vectors
+expensive; the classic way to quantify that (Hockney) is ``n_1/2`` —
+the vector length at which a loop reaches half of its asymptotic
+performance.  This study sweeps the *problem size* ``n`` for two
+single-loop kernels and reports the CPF curve and the interpolated
+``n_1/2``.
+
+For a loop whose whole-run cost is roughly ``overhead + n * cpf_inf``,
+``n_1/2 = overhead / cpf_inf`` in source iterations; memory-port-bound
+kernels on this machine sit in the few-hundreds because pipeline fill
+and prologue cost a few hundred cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..compiler import CompilerOptions, DEFAULT_OPTIONS
+from ..errors import ExperimentError
+from ..machine import DEFAULT_CONFIG, MachineConfig
+from ..workloads import compile_spec, kernel, run_kernel
+from .formatting import ExperimentResult, TextTable
+
+#: Problem sizes swept (source iterations).
+SWEEP_SIZES = (8, 16, 32, 64, 128, 256, 512, 1000)
+
+
+def _sized_spec(base, n: int):
+    """The same kernel at a different problem size."""
+    return dataclasses.replace(
+        base,
+        scalar_inputs={**base.scalar_inputs, "n": n},
+        inner_iterations=n,
+        trip_profile=(n,),
+    )
+
+
+def n_half_from_curve(points: list[tuple[int, float]]) -> float:
+    """Interpolate Hockney's n_1/2 from (n, CPF) samples.
+
+    Asymptotic CPF is taken from the largest n; ``n_1/2`` is where the
+    curve crosses twice that value (half of peak MFLOPS), linearly
+    interpolated in 1/CPF.
+    """
+    if len(points) < 2:
+        raise ExperimentError("need at least two samples for n_1/2")
+    points = sorted(points)
+    cpf_infinity = points[-1][1]
+    target = 2.0 * cpf_infinity
+    previous = points[0]
+    if previous[1] <= target:
+        return float(previous[0])  # already past half performance
+    for n, cpf in points[1:]:
+        if cpf <= target:
+            n0, c0 = previous
+            fraction = (c0 - target) / (c0 - cpf)
+            return n0 + fraction * (n - n0)
+        previous = (n, cpf)
+    raise ExperimentError(
+        "the sweep never reaches half of asymptotic performance; "
+        "extend SWEEP_SIZES"
+    )
+
+
+def run_vector_length_study(
+    kernels: tuple[str, ...] = ("lfk1", "lfk12"),
+    options: CompilerOptions = DEFAULT_OPTIONS,
+    config: MachineConfig = DEFAULT_CONFIG,
+) -> ExperimentResult:
+    table = TextTable(["kernel"] + [f"n={n}" for n in SWEEP_SIZES]
+                      + ["n_1/2"])
+    curves = {}
+    for name in kernels:
+        base = kernel(name)
+        compiled = compile_spec(base, options)
+        points = []
+        for n in SWEEP_SIZES:
+            spec = _sized_spec(base, n)
+            run = run_kernel(spec, options, config, compiled=compiled)
+            points.append((n, run.cpf()))
+        n_half = n_half_from_curve(points)
+        curves[name] = {"points": points, "n_half": n_half}
+        table.add_row(
+            name,
+            *[f"{cpf:.2f}" for _, cpf in points],
+            f"{n_half:.0f}",
+        )
+    return ExperimentResult(
+        artifact="Study",
+        title="CPF vs problem size and Hockney's n_1/2 (§3.2 start-up "
+              "overheads)",
+        body=table.render(),
+        notes=[
+            "n_1/2: problem size reaching half of asymptotic "
+            "performance (interpolated)",
+            "short loops pay pipeline fill, prologue and partial-strip "
+            "overheads that VL=128 steady state amortizes",
+        ],
+        data={"curves": curves},
+    )

@@ -1,0 +1,84 @@
+"""Convex-style vector instruction set architecture.
+
+Public surface:
+
+* registers — :func:`areg` / :func:`sreg` / :func:`vreg`, :data:`VL`,
+  :data:`VS`, :data:`VECTOR_PAIRS`;
+* operands — :class:`Immediate`, :class:`MemRef`, :class:`LabelRef`;
+* instructions — :class:`Instruction`, :class:`Pipe`, :class:`OpClass`;
+* timing — :class:`TimingTable`, :class:`VectorTiming`,
+  :func:`default_timing_table` (paper Table 1);
+* programs — :class:`Program`, :class:`DataLayout`, :class:`AsmBuilder`;
+* text I/O — :func:`parse_program`, :func:`format_program`.
+"""
+
+from .builder import AsmBuilder
+from .instructions import Instruction, OpClass, OpcodeSpec, Pipe, opcode_spec
+from .operands import (
+    Immediate,
+    LabelRef,
+    MemRef,
+    Operand,
+    WORD_BYTES,
+    format_operand,
+    is_memory_operand,
+)
+from .parser import parse_instruction, parse_operand, parse_program
+from .printer import format_instruction, format_instructions, format_program
+from .program import DataLayout, DataSymbol, Program
+from .registers import (
+    ALL_VECTOR_REGISTERS,
+    Register,
+    RegisterClass,
+    VECTOR_PAIRS,
+    VECTOR_REGISTER_LENGTH,
+    VL,
+    VM,
+    VS,
+    areg,
+    sreg,
+    vector_pair_of,
+    vreg,
+)
+from .timing import DEFAULT_TIMINGS, TimingTable, VectorTiming, default_timing_table
+
+__all__ = [
+    "ALL_VECTOR_REGISTERS",
+    "AsmBuilder",
+    "DEFAULT_TIMINGS",
+    "DataLayout",
+    "DataSymbol",
+    "Immediate",
+    "Instruction",
+    "LabelRef",
+    "MemRef",
+    "OpClass",
+    "OpcodeSpec",
+    "Operand",
+    "Pipe",
+    "Program",
+    "Register",
+    "RegisterClass",
+    "TimingTable",
+    "VECTOR_PAIRS",
+    "VECTOR_REGISTER_LENGTH",
+    "VL",
+    "VM",
+    "VS",
+    "VectorTiming",
+    "WORD_BYTES",
+    "areg",
+    "default_timing_table",
+    "format_instruction",
+    "format_instructions",
+    "format_operand",
+    "format_program",
+    "is_memory_operand",
+    "opcode_spec",
+    "parse_instruction",
+    "parse_operand",
+    "parse_program",
+    "sreg",
+    "vector_pair_of",
+    "vreg",
+]

@@ -1,0 +1,99 @@
+"""Operand types for the Convex-style assembly language.
+
+An instruction operand is one of:
+
+* a :class:`~repro.isa.registers.Register` (``a5``, ``s1``, ``v0``, ``VL``),
+* an :class:`Immediate` (``#1024``),
+* a :class:`MemRef` (``space1+40120(a5)`` — symbol, displacement, base
+  address register, and an element stride in words for vector accesses),
+* a :class:`LabelRef` (branch target, ``L7``).
+
+All operand types are frozen dataclasses so instructions can be hashed
+and compared structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OperandError
+from .registers import Register
+
+#: Bytes per memory word on the C-240 (paper §2: "Each memory word is
+#: eight bytes").
+WORD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """A literal constant operand, printed ``#<value>``."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory reference ``[symbol+]disp(base)`` with an element stride.
+
+    ``stride_words`` is the distance in 8-byte words between successive
+    vector elements (1 for unit stride).  Negative strides walk memory
+    backwards (LFK6's ``W(i-k)``); a stride of 0 is a broadcast (every
+    element from the same address).  Scalar accesses ignore the stride.
+    """
+
+    base: Register
+    displacement: int = 0
+    symbol: str | None = None
+    stride_words: int = 1
+
+    def __post_init__(self):
+        if not self.base.is_address:
+            raise OperandError(
+                f"memory reference base must be an address register, "
+                f"got {self.base.name}"
+            )
+
+    def __str__(self) -> str:
+        prefix = ""
+        if self.symbol:
+            if self.displacement:
+                prefix = f"{self.symbol}+{self.displacement}"
+            else:
+                prefix = self.symbol
+        elif self.displacement:
+            prefix = str(self.displacement)
+        text = f"{prefix}({self.base.name})"
+        if self.stride_words != 1:
+            text += f"[{self.stride_words}]"
+        return text
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """A reference to a code label, used by branch instructions."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise OperandError("label name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Union type of everything an instruction operand can be.
+Operand = Register | Immediate | MemRef | LabelRef
+
+
+def is_memory_operand(operand: Operand) -> bool:
+    """True when the operand touches memory."""
+    return isinstance(operand, MemRef)
+
+
+def format_operand(operand: Operand) -> str:
+    """Render any operand in assembly syntax."""
+    return str(operand)

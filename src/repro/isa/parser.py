@@ -1,0 +1,180 @@
+"""Text parser for the Convex-style assembly dialect.
+
+Accepts the syntax used in the paper's listings, e.g.::
+
+    L7:     mov     s0,VL           ; #145
+            ld.l    space1+40120(a5),v0 ; #146, ZX
+            mul.d   v0,s1,v1        ; #146
+            st.l    v0,space1+24024(a5) ; #146, X
+            add.w   #1024,a5
+            sub.w   #128,s0
+            lt.w    #0,s0
+            jbrs.t  L7
+
+plus optional data directives before the code::
+
+    .data   space1, 6000            ; name, size in words
+
+Strided memory operands append ``[stride]`` (words): ``x+0(a5)[2]``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AsmSyntaxError, RegisterError
+from .instructions import Instruction, known_mnemonics
+from .operands import Immediate, LabelRef, MemRef, Operand
+from .program import DataLayout, Program
+from .registers import Register
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+_DATA_RE = re.compile(
+    r"^\.data\s+([A-Za-z_][A-Za-z0-9_]*)\s*,\s*(\d+)\s*$"
+)
+_MEMREF_RE = re.compile(
+    r"^(?:(?P<sym>[A-Za-z_][A-Za-z0-9_]*))?"
+    r"(?:(?P<plus>\+)?(?P<disp>-?\d+))?"
+    r"\((?P<base>[a-zA-Z][0-9])\)"
+    r"(?:\[(?P<stride>-?\d+)\])?$"
+)
+_MNEMONIC_RE = re.compile(
+    r"^(?P<mn>[a-z]+)(?:\.(?P<suffix>[a-z]))?$"
+)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand field on commas not inside parentheses/brackets."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_operand(text: str, line_number: int | None = None) -> Operand:
+    """Parse one operand: register, immediate, memory ref, or label."""
+    stripped = text.strip()
+    if not stripped:
+        raise AsmSyntaxError("empty operand", line_number)
+    if stripped.startswith("#"):
+        body = stripped[1:]
+        try:
+            return Immediate(int(body, 0))
+        except ValueError:
+            raise AsmSyntaxError(
+                f"bad immediate {stripped!r}", line_number
+            ) from None
+    if "(" in stripped:
+        match = _MEMREF_RE.match(stripped)
+        if not match:
+            raise AsmSyntaxError(
+                f"bad memory operand {stripped!r}", line_number
+            )
+        if match.group("sym") and match.group("disp") and not match.group("plus"):
+            raise AsmSyntaxError(
+                f"bad memory operand {stripped!r}: expected "
+                f"symbol+displacement", line_number
+            )
+        try:
+            base = Register.parse(match.group("base"))
+        except RegisterError as exc:
+            raise AsmSyntaxError(str(exc), line_number) from None
+        disp = int(match.group("disp") or 0)
+        stride = int(match.group("stride") or 1)
+        return MemRef(
+            base=base,
+            displacement=disp,
+            symbol=match.group("sym"),
+            stride_words=stride,
+        )
+    try:
+        return Register.parse(stripped)
+    except RegisterError:
+        pass
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", stripped):
+        return LabelRef(stripped)
+    raise AsmSyntaxError(f"unparseable operand {stripped!r}", line_number)
+
+
+def parse_instruction(
+    text: str, label: str | None = None, line_number: int | None = None
+) -> Instruction:
+    """Parse one instruction line body (no label, no comment)."""
+    stripped = text.strip()
+    fields = stripped.split(None, 1)
+    if not fields:
+        raise AsmSyntaxError("empty instruction", line_number)
+    mn_match = _MNEMONIC_RE.match(fields[0])
+    if not mn_match:
+        raise AsmSyntaxError(
+            f"bad mnemonic {fields[0]!r}", line_number
+        )
+    mnemonic = mn_match.group("mn")
+    suffix = mn_match.group("suffix") or ""
+    if mnemonic not in known_mnemonics():
+        raise AsmSyntaxError(
+            f"unknown opcode {mnemonic!r}", line_number
+        )
+    operands: tuple[Operand, ...] = ()
+    if len(fields) > 1:
+        operands = tuple(
+            parse_operand(part, line_number)
+            for part in _split_operands(fields[1])
+        )
+    try:
+        return Instruction(
+            mnemonic=mnemonic, operands=operands, suffix=suffix, label=label
+        )
+    except Exception as exc:  # re-raise with position info
+        raise AsmSyntaxError(str(exc), line_number) from exc
+
+
+def parse_program(text: str, name: str = "<asm>") -> Program:
+    """Parse a full assembly listing into a :class:`Program`."""
+    layout = DataLayout()
+    instructions: list[Instruction] = []
+    pending_label: str | None = None
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].rstrip()
+        comment = raw.split(";", 1)[1].strip() if ";" in raw else None
+        if not line.strip():
+            continue
+        data_match = _DATA_RE.match(line.strip())
+        if data_match:
+            layout.allocate(data_match.group(1), int(data_match.group(2)))
+            continue
+        stripped = line.strip()
+        label_match = _LABEL_RE.match(stripped)
+        if label_match:
+            if pending_label is not None:
+                raise AsmSyntaxError(
+                    f"label {pending_label!r} followed by another label",
+                    line_number,
+                )
+            pending_label = label_match.group(1)
+            stripped = label_match.group(2).strip()
+            if not stripped:
+                continue  # label on its own line, attach to next instr
+        instr = parse_instruction(stripped, pending_label, line_number)
+        if comment:
+            instr = instr.with_comment(comment)
+        pending_label = None
+        instructions.append(instr)
+    if pending_label is not None:
+        raise AsmSyntaxError(
+            f"dangling label {pending_label!r} at end of program"
+        )
+    return Program(instructions, layout=layout, name=name)

@@ -1,0 +1,44 @@
+"""Pretty-printer for assembly programs.
+
+Emits listings in the paper's style: data directives first, then
+column-aligned instructions with labels and ``;`` comments.  Round-trips
+with :mod:`repro.isa.parser` (``parse_program(format_program(p))`` is
+structurally equal to ``p``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .instructions import Instruction
+from .program import Program
+
+#: Column where the mnemonic starts.
+_MNEMONIC_COLUMN = 8
+#: Column where the comment starts.
+_COMMENT_COLUMN = 40
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one instruction as a listing line."""
+    label = f"{instr.label}:" if instr.label else ""
+    mnemonic_field = label.ljust(_MNEMONIC_COLUMN)
+    operand_text = ",".join(str(op) for op in instr.operands)
+    body = f"{mnemonic_field}{instr.name:<8}{operand_text}"
+    if instr.comment:
+        body = f"{body.ljust(_COMMENT_COLUMN)}; {instr.comment}"
+    return body.rstrip()
+
+
+def format_instructions(instructions: Iterable[Instruction]) -> str:
+    return "\n".join(format_instruction(i) for i in instructions)
+
+
+def format_program(program: Program) -> str:
+    """Render a full program, including ``.data`` directives."""
+    lines = [
+        f".data   {sym.name}, {sym.size_bytes // 8}"
+        for sym in program.layout.symbols()
+    ]
+    lines.extend(format_instruction(i) for i in program)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,147 @@
+"""Vector instruction timing database (paper Table 1).
+
+Every vector instruction on the C-240 takes, in isolation,
+
+    ``X + Y + Z * VL`` cycles                              (paper eq. 5)
+
+where ``X`` is issue overhead, ``Y`` the additional cycles until the
+first element result appears, ``Z`` the per-element rate, and ``VL`` the
+vector length.  Calibration experiments (paper §3.3) additionally found
+a *bubble* of ``B`` cycles between successive instructions tailgating in
+the same pipe; ``B`` is the empirical parameter that makes the chime
+formula ``Z*VL + sum(B)`` (paper eq. 13) match measured chime times.
+
+The values below are the paper's Table 1 (VL = 128).  The vector
+reduction ``Z`` is the paper's conservative 1.35 (measured 1.39–1.43;
+Convex claimed 1.0, Convex engineering said 1.5); its ``B`` is 0 by the
+same convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+
+from ..errors import IsaError
+
+
+@dataclass(frozen=True)
+class VectorTiming:
+    """X/Y/Z/B parameters for one vector instruction class.
+
+    ``vl_floor`` models the paper's §3.2 note that "run time no longer
+    improves when VL drops below some operation-specific threshold":
+    streaming time is computed at ``max(VL, vl_floor)``.  The paper
+    gives no threshold values, so the default is 0 (no floor); the
+    mechanism is exercised by tests and available for sensitivity
+    studies.
+    """
+
+    key: str
+    x: int  #: issue overhead cycles
+    y: int  #: additional cycles to first element result
+    z: float  #: cycles per element
+    b: int  #: tailgating bubble cycles
+    vl_floor: int = 0  #: minimum effective VL (0 = none)
+
+    def effective_vl(self, vl: int) -> int:
+        if vl <= 0:
+            raise IsaError(f"VL must be positive, got {vl}")
+        return max(vl, self.vl_floor)
+
+    def isolated_cycles(self, vl: int) -> float:
+        """Time for one instruction with no overlap (paper eq. 5)."""
+        return self.x + self.y + self.z * self.effective_vl(vl)
+
+    def streaming_cycles(self, vl: int) -> float:
+        """Per-instruction contribution in a steady-state chime:
+        ``Z*VL`` for the chime plus this instruction's bubble ``B``.
+        Only meaningful summed across a chime (paper eq. 13)."""
+        return self.z * self.effective_vl(vl) + self.b
+
+
+#: Paper Table 1: Vector Instruction Execution Times (VL = 128).
+_TABLE_1: dict[str, VectorTiming] = {
+    "load": VectorTiming("load", x=2, y=10, z=1.00, b=2),
+    "store": VectorTiming("store", x=2, y=10, z=1.00, b=4),
+    "add": VectorTiming("add", x=2, y=10, z=1.00, b=1),
+    "mul": VectorTiming("mul", x=2, y=12, z=1.00, b=1),
+    "sub": VectorTiming("sub", x=2, y=10, z=1.00, b=1),
+    "div": VectorTiming("div", x=2, y=72, z=4.00, b=21),
+    "sum": VectorTiming("sum", x=2, y=10, z=1.35, b=0),
+    "neg": VectorTiming("neg", x=2, y=10, z=1.00, b=1),
+}
+
+#: Read-only view of the default (paper Table 1) timing database.
+DEFAULT_TIMINGS = MappingProxyType(_TABLE_1)
+
+
+class TimingTable:
+    """A timing database mapping timing keys to X/Y/Z/B parameters.
+
+    Instances are immutable; :meth:`with_override` returns a modified
+    copy (used by calibration and ablation experiments, e.g. "what if
+    bubbles were zero?").
+    """
+
+    def __init__(self, timings: dict[str, VectorTiming] | None = None):
+        self._timings = dict(DEFAULT_TIMINGS if timings is None else timings)
+
+    def lookup(self, key: str) -> VectorTiming:
+        """Fetch timing parameters; raises :class:`IsaError` if absent."""
+        try:
+            return self._timings[key]
+        except KeyError:
+            raise IsaError(
+                f"no timing entry for {key!r}; known: {sorted(self._timings)}"
+            ) from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._timings
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(sorted(self._timings))
+
+    def with_override(self, key: str, timing: VectorTiming) -> "TimingTable":
+        """Copy with one entry replaced."""
+        if timing.key != key:
+            raise IsaError(
+                f"timing key mismatch: entry says {timing.key!r}, "
+                f"table key is {key!r}"
+            )
+        merged = dict(self._timings)
+        merged[key] = timing
+        return TimingTable(merged)
+
+    def without_bubbles(self) -> "TimingTable":
+        """Copy with every B forced to zero (bubble ablation)."""
+        return TimingTable(
+            {
+                k: VectorTiming(t.key, t.x, t.y, t.z, 0, t.vl_floor)
+                for k, t in self._timings.items()
+            }
+        )
+
+    def with_vl_floor(self, floor: int) -> "TimingTable":
+        """Copy with a uniform minimum effective VL (§3.2 threshold)."""
+        if floor < 0:
+            raise IsaError(f"vl_floor must be >= 0, got {floor}")
+        return TimingTable(
+            {
+                k: VectorTiming(t.key, t.x, t.y, t.z, t.b, floor)
+                for k, t in self._timings.items()
+            }
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TimingTable):
+            return NotImplemented
+        return self._timings == other._timings
+
+    def __repr__(self) -> str:
+        return f"TimingTable({sorted(self._timings)})"
+
+
+def default_timing_table() -> TimingTable:
+    """The paper's Table 1 parameters."""
+    return TimingTable()

@@ -1,0 +1,95 @@
+"""Mini-Fortran frontend for the Livermore kernel sources.
+
+Public surface:
+
+* AST node types (:class:`Assign`, :class:`DoLoop`, :class:`BinOp` …);
+* :func:`parse_source` — text to AST;
+* :func:`analyze_program` — symbol table construction + validation;
+* :func:`analyze_loop` — inner-loop vectorization analysis
+  (inductions, affine accesses, reductions, dependence test).
+"""
+
+from .analysis import (
+    AccessFunction,
+    Induction,
+    LinearForm,
+    LoopAnalysis,
+    NotAffineError,
+    Reduction,
+    StreamRef,
+    analyze_loop,
+    find_inductions,
+    linearize,
+)
+from .ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    Continue,
+    Dimension,
+    DoLoop,
+    Expr,
+    IfGoto,
+    SourceProgram,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    array_reads,
+    count_fp_operations,
+    scalar_reads,
+    walk_exprs,
+    walk_statements,
+)
+from .lexer import Token, TokenKind, tokenize
+from .parser import Parser, parse_source
+from .semantics import (
+    ArrayInfo,
+    ScalarType,
+    SymbolTable,
+    analyze_program,
+    implicit_type,
+)
+
+__all__ = [
+    "AccessFunction",
+    "ArrayInfo",
+    "ArrayRef",
+    "Assign",
+    "BinOp",
+    "Compare",
+    "Const",
+    "Continue",
+    "Dimension",
+    "DoLoop",
+    "Expr",
+    "IfGoto",
+    "Induction",
+    "LinearForm",
+    "LoopAnalysis",
+    "NotAffineError",
+    "Parser",
+    "Reduction",
+    "ScalarType",
+    "SourceProgram",
+    "Stmt",
+    "StreamRef",
+    "SymbolTable",
+    "Token",
+    "TokenKind",
+    "UnaryOp",
+    "VarRef",
+    "analyze_loop",
+    "analyze_program",
+    "array_reads",
+    "count_fp_operations",
+    "find_inductions",
+    "implicit_type",
+    "linearize",
+    "parse_source",
+    "scalar_reads",
+    "tokenize",
+    "walk_exprs",
+    "walk_statements",
+]

@@ -1,0 +1,267 @@
+"""Abstract syntax tree for the mini-Fortran kernel language.
+
+The language is the subset of Fortran-77 needed to express the
+Livermore kernels used in the paper's case study:
+
+* ``DIMENSION`` declarations (column-major arrays, 1-based indices);
+* possibly-nested ``DO`` loops, closed by ``ENDDO``, a labelled
+  ``CONTINUE``, or a labelled final statement (shared terminal labels
+  as in LFK6 are supported);
+* scalar and array assignments with ``+ - * /`` expressions;
+* ``IF (<relation>) GOTO <label>`` for backward outer-loop control
+  (LFK2's halving loop).
+
+Scalar types follow the Fortran implicit rule: names starting with
+I–N are integers, everything else is real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """Numeric literal.  ``is_integer`` distinguishes ``2`` from ``2.0``."""
+
+    value: float
+    is_integer: bool = False
+
+    def __str__(self) -> str:
+        if self.is_integer:
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef(Expr):
+    """Reference to a scalar variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """Reference to an array element, e.g. ``PX(5, i)``."""
+
+    name: str
+    indices: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        inner = ",".join(str(i) for i in self.indices)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary arithmetic: ``op`` is one of ``+ - * /``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary minus."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """Relational expression for IF: ``op`` in ``> < >= <= == /=``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+class Stmt:
+    """Base class for statement nodes.  ``label`` is the numeric
+    statement label (as a string), if any."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = expr`` — target is a scalar or array element."""
+
+    target: VarRef | ArrayRef
+    expr: Expr
+    label: str | None = None
+
+    def __str__(self) -> str:
+        prefix = f"{self.label} " if self.label else ""
+        return f"{prefix}{self.target} = {self.expr}"
+
+
+@dataclass
+class DoLoop(Stmt):
+    """``DO [term_label] var = lower, upper [, step]`` with a body."""
+
+    var: str
+    lower: Expr
+    upper: Expr
+    step: Expr
+    body: list[Stmt] = field(default_factory=list)
+    label: str | None = None
+    #: the label whose statement terminates this loop (classic form)
+    terminal_label: str | None = None
+
+    def __str__(self) -> str:
+        head = f"DO {self.var} = {self.lower}, {self.upper}, {self.step}"
+        inner = "\n".join(f"  {line}" for s in self.body
+                          for line in str(s).splitlines())
+        return f"{head}\n{inner}\nENDDO"
+
+
+@dataclass
+class IfGoto(Stmt):
+    """``IF (cond) GOTO target`` — used for backward outer loops."""
+
+    condition: Compare
+    target: str
+    label: str | None = None
+
+    def __str__(self) -> str:
+        return f"IF ({self.condition}) GOTO {self.target}"
+
+
+@dataclass
+class Continue(Stmt):
+    """``CONTINUE`` — no-op carrying a label."""
+
+    label: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.label or ''} CONTINUE".strip()
+
+
+@dataclass
+class Dimension(Stmt):
+    """``DIMENSION name(d1[,d2,...]) [, ...]`` declarations."""
+
+    arrays: tuple[tuple[str, tuple[int, ...]], ...]
+    label: str | None = None
+
+    def __str__(self) -> str:
+        decls = ", ".join(
+            f"{name}({','.join(str(d) for d in dims)})"
+            for name, dims in self.arrays
+        )
+        return f"DIMENSION {decls}"
+
+
+@dataclass
+class SourceProgram(Stmt):
+    """A whole kernel: declarations followed by executable statements."""
+
+    statements: list[Stmt] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.statements)
+
+
+# ----------------------------------------------------------------------
+# Traversal helpers
+# ----------------------------------------------------------------------
+
+
+def walk_exprs(expr: Expr):
+    """Yield ``expr`` and every sub-expression, depth-first."""
+    yield expr
+    if isinstance(expr, BinOp) or isinstance(expr, Compare):
+        yield from walk_exprs(expr.left)
+        yield from walk_exprs(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_exprs(expr.operand)
+    elif isinstance(expr, ArrayRef):
+        for index in expr.indices:
+            yield from walk_exprs(index)
+
+
+def walk_statements(statements):
+    """Yield every statement, recursing into loop bodies."""
+    for stmt in statements:
+        yield stmt
+        if isinstance(stmt, DoLoop):
+            yield from walk_statements(stmt.body)
+
+
+def array_reads(stmt: Assign) -> list[ArrayRef]:
+    """Array references read by an assignment (RHS plus index exprs)."""
+    reads = [e for e in walk_exprs(stmt.expr) if isinstance(e, ArrayRef)]
+    if isinstance(stmt.target, ArrayRef):
+        for index in stmt.target.indices:
+            reads.extend(
+                e for e in walk_exprs(index) if isinstance(e, ArrayRef)
+            )
+    return reads
+
+
+def scalar_reads(expr: Expr) -> set[str]:
+    """Names of scalar variables read anywhere in an expression."""
+    return {e.name for e in walk_exprs(expr) if isinstance(e, VarRef)}
+
+
+def count_fp_operations(expr: Expr) -> tuple[int, int]:
+    """(additive, multiplicative) floating-point operation counts.
+
+    Additions and subtractions execute on the C-240 add pipe;
+    multiplications and divisions on the multiply pipe — this is the
+    paper's ``f_a`` / ``f_m`` split.  Unary minus counts as an add-pipe
+    operation (vector negation, Table 1).  Arithmetic inside array
+    *index* expressions is address computation, not floating-point
+    work, and is not counted.
+    """
+    adds = 0
+    muls = 0
+
+    def visit(node: Expr) -> None:
+        nonlocal adds, muls
+        if isinstance(node, BinOp):
+            if node.op in "+-":
+                adds += 1
+            else:
+                muls += 1
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, UnaryOp):
+            if node.op == "-":
+                adds += 1
+            visit(node.operand)
+        # ArrayRef indices and leaves are intentionally not visited.
+
+    visit(expr)
+    return adds, muls

@@ -1,0 +1,128 @@
+"""Tokenizer for the mini-Fortran kernel language.
+
+Free-form input, one statement per line; a leading integer on a line is
+a statement label.  Keywords and identifiers are case-insensitive
+(normalized to upper case for keywords, preserved for identifiers).
+Both Fortran-classic relational operators (``.GT.`` …) and modern ones
+(``>`` …) are accepted.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from ..errors import LexError
+
+KEYWORDS = frozenset(
+    {"DO", "IF", "GOTO", "CONTINUE", "DIMENSION", "ENDDO", "THEN", "END"}
+)
+
+_DOT_OPS = {
+    ".GT.": ">",
+    ".LT.": "<",
+    ".GE.": ">=",
+    ".LE.": "<=",
+    ".EQ.": "==",
+    ".NE.": "/=",
+}
+
+
+class TokenKind(enum.Enum):
+    LABEL = "label"  # leading integer statement label
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    REAL = "real"
+    OP = "op"  # + - * / = ( ) , and relationals
+    NEWLINE = "newline"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<dotop>\.(?:GT|LT|GE|LE|EQ|NE)\.)
+  | (?P<real>\d+\.\d*(?:[EeDd][-+]?\d+)?|\d+[EeDd][-+]?\d+|\.\d+)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z][A-Za-z0-9_]*)
+  | (?P<relop>>=|<=|==|/=|>|<)
+  | (?P<op>[-+*/=(),])
+  | (?P<ws>[ \t]+)
+    """,
+    re.VERBOSE | re.IGNORECASE,
+)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a whole kernel source into a flat token list."""
+    tokens: list[Token] = []
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("!", 1)[0]
+        # Classic Fortran comment card.
+        if line[:1].upper() == "C" and (len(line) == 1 or line[1] in " \t"):
+            continue
+        if not line.strip():
+            continue
+        position = 0
+        at_line_start = True
+        while position < len(line):
+            match = _TOKEN_RE.match(line, position)
+            if not match:
+                raise LexError(
+                    f"unexpected character {line[position]!r}",
+                    line_number,
+                    position + 1,
+                )
+            column = position + 1
+            position = match.end()
+            kind_name = match.lastgroup
+            text = match.group()
+            if kind_name == "ws":
+                continue
+            if kind_name == "dotop":
+                tokens.append(
+                    Token(TokenKind.OP, _DOT_OPS[text.upper()],
+                          line_number, column)
+                )
+            elif kind_name == "real":
+                tokens.append(
+                    Token(TokenKind.REAL, text, line_number, column)
+                )
+            elif kind_name == "int":
+                kind = (
+                    TokenKind.LABEL if at_line_start else TokenKind.INT
+                )
+                tokens.append(Token(kind, text, line_number, column))
+            elif kind_name == "ident":
+                upper = text.upper()
+                if upper in KEYWORDS:
+                    tokens.append(
+                        Token(TokenKind.KEYWORD, upper, line_number, column)
+                    )
+                else:
+                    tokens.append(
+                        Token(TokenKind.IDENT, text, line_number, column)
+                    )
+            elif kind_name == "relop":
+                tokens.append(Token(TokenKind.OP, text, line_number, column))
+            else:
+                tokens.append(Token(TokenKind.OP, text, line_number, column))
+            at_line_start = False
+        tokens.append(
+            Token(TokenKind.NEWLINE, "\n", line_number, len(line) + 1)
+        )
+    last_line = source.count("\n") + 1
+    tokens.append(Token(TokenKind.EOF, "", last_line, 1))
+    return tokens

@@ -1,0 +1,304 @@
+"""Recursive-descent parser for the mini-Fortran kernel language.
+
+Produces a :class:`~repro.lang.ast.SourceProgram`.  DO loops may be
+closed three ways, all used in the Livermore kernels:
+
+* ``ENDDO``;
+* a statement carrying the loop's terminal label (``DO 4 j = …`` …
+  ``4  lw = lw + 1``);
+* a shared terminal label closing several nested loops at once
+  (``DO 6 i = …`` / ``DO 6 k = …`` / ``6 W(i) = …``).
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .ast import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    Continue,
+    Dimension,
+    DoLoop,
+    Expr,
+    IfGoto,
+    SourceProgram,
+    Stmt,
+    UnaryOp,
+    VarRef,
+)
+from .lexer import Token, TokenKind, tokenize
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def check(self, kind: TokenKind, text: str | None = None) -> bool:
+        token = self.current
+        if token.kind is not kind:
+            return False
+        return text is None or token.text == text
+
+    def accept(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self.current
+        if not self.check(kind, text):
+            wanted = text if text is not None else kind.name
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text!r}", token.line
+            )
+        return self.advance()
+
+    def skip_newlines(self) -> None:
+        while self.accept(TokenKind.NEWLINE):
+            pass
+
+
+class Parser:
+    """Parses one kernel source into an AST."""
+
+    def __init__(self, source: str):
+        self._stream = _TokenStream(tokenize(source))
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> Expr:
+        return self._additive()
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while self._stream.check(TokenKind.OP, "+") or self._stream.check(
+            TokenKind.OP, "-"
+        ):
+            op = self._stream.advance().text
+            right = self._multiplicative()
+            left = BinOp(op, left, right)
+        return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while self._stream.check(TokenKind.OP, "*") or self._stream.check(
+            TokenKind.OP, "/"
+        ):
+            op = self._stream.advance().text
+            right = self._unary()
+            left = BinOp(op, left, right)
+        return left
+
+    def _unary(self) -> Expr:
+        if self._stream.accept(TokenKind.OP, "-"):
+            return UnaryOp("-", self._unary())
+        if self._stream.accept(TokenKind.OP, "+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        stream = self._stream
+        token = stream.current
+        if token.kind in (TokenKind.INT, TokenKind.LABEL):
+            stream.advance()
+            return Const(float(token.text), is_integer=True)
+        if token.kind is TokenKind.REAL:
+            stream.advance()
+            text = token.text.upper().replace("D", "E")
+            return Const(float(text), is_integer=False)
+        if token.kind is TokenKind.IDENT:
+            stream.advance()
+            if stream.accept(TokenKind.OP, "("):
+                indices = [self.parse_expression()]
+                while stream.accept(TokenKind.OP, ","):
+                    indices.append(self.parse_expression())
+                stream.expect(TokenKind.OP, ")")
+                return ArrayRef(token.text, tuple(indices))
+            return VarRef(token.text)
+        if stream.accept(TokenKind.OP, "("):
+            inner = self.parse_expression()
+            stream.expect(TokenKind.OP, ")")
+            return inner
+        raise ParseError(
+            f"unexpected token {token.text!r} in expression", token.line
+        )
+
+    def _relation(self) -> Compare:
+        left = self.parse_expression()
+        token = self._stream.current
+        if token.kind is not TokenKind.OP or token.text not in (
+            ">", "<", ">=", "<=", "==", "/=",
+        ):
+            raise ParseError(
+                f"expected relational operator, found {token.text!r}",
+                token.line,
+            )
+        self._stream.advance()
+        right = self.parse_expression()
+        return Compare(token.text, left, right)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _parse_dimension(self, label: str | None) -> Dimension:
+        stream = self._stream
+        declarations = []
+        while True:
+            name = stream.expect(TokenKind.IDENT).text
+            stream.expect(TokenKind.OP, "(")
+            dims = [int(stream.expect(TokenKind.INT).text)]
+            while stream.accept(TokenKind.OP, ","):
+                dims.append(int(stream.expect(TokenKind.INT).text))
+            stream.expect(TokenKind.OP, ")")
+            declarations.append((name, tuple(dims)))
+            if not stream.accept(TokenKind.OP, ","):
+                break
+        return Dimension(tuple(declarations), label=label)
+
+    def _parse_do(self, label: str | None) -> DoLoop:
+        stream = self._stream
+        terminal = stream.accept(TokenKind.INT)
+        var = stream.expect(TokenKind.IDENT).text
+        stream.expect(TokenKind.OP, "=")
+        lower = self.parse_expression()
+        stream.expect(TokenKind.OP, ",")
+        upper = self.parse_expression()
+        step: Expr = Const(1.0, is_integer=True)
+        if stream.accept(TokenKind.OP, ","):
+            step = self.parse_expression()
+        return DoLoop(
+            var=var,
+            lower=lower,
+            upper=upper,
+            step=step,
+            label=label,
+            terminal_label=terminal.text if terminal else None,
+        )
+
+    def _parse_if(self, label: str | None) -> IfGoto:
+        stream = self._stream
+        stream.expect(TokenKind.OP, "(")
+        condition = self._relation()
+        stream.expect(TokenKind.OP, ")")
+        stream.expect(TokenKind.KEYWORD, "GOTO")
+        target = stream.expect(TokenKind.INT).text
+        return IfGoto(condition=condition, target=target, label=label)
+
+    def _parse_assign(self, label: str | None) -> Assign:
+        stream = self._stream
+        name = stream.expect(TokenKind.IDENT).text
+        target: VarRef | ArrayRef
+        if stream.accept(TokenKind.OP, "("):
+            indices = [self.parse_expression()]
+            while stream.accept(TokenKind.OP, ","):
+                indices.append(self.parse_expression())
+            stream.expect(TokenKind.OP, ")")
+            target = ArrayRef(name, tuple(indices))
+        else:
+            target = VarRef(name)
+        stream.expect(TokenKind.OP, "=")
+        expr = self.parse_expression()
+        return Assign(target=target, expr=expr, label=label)
+
+    def _parse_statement(self) -> Stmt | None:
+        """Parse one line; returns None for ENDDO (handled by caller)."""
+        stream = self._stream
+        label_token = stream.accept(TokenKind.LABEL)
+        label = label_token.text if label_token else None
+        if stream.check(TokenKind.KEYWORD, "DIMENSION"):
+            stream.advance()
+            stmt: Stmt = self._parse_dimension(label)
+        elif stream.check(TokenKind.KEYWORD, "DO"):
+            stream.advance()
+            stmt = self._parse_do(label)
+        elif stream.check(TokenKind.KEYWORD, "IF"):
+            stream.advance()
+            stmt = self._parse_if(label)
+        elif stream.check(TokenKind.KEYWORD, "CONTINUE"):
+            stream.advance()
+            stmt = Continue(label=label)
+        elif stream.check(TokenKind.KEYWORD, "ENDDO"):
+            stream.advance()
+            stmt = _EndDo(label)
+        elif stream.check(TokenKind.IDENT):
+            stmt = self._parse_assign(label)
+        else:
+            token = stream.current
+            raise ParseError(
+                f"cannot start a statement with {token.text!r}", token.line
+            )
+        token = stream.current
+        if token.kind not in (TokenKind.NEWLINE, TokenKind.EOF):
+            raise ParseError(
+                f"unexpected {token.text!r} after statement", token.line
+            )
+        stream.skip_newlines()
+        return stmt
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> SourceProgram:
+        stream = self._stream
+        stream.skip_newlines()
+        top_level: list[Stmt] = []
+        open_loops: list[DoLoop] = []
+
+        def container() -> list[Stmt]:
+            return open_loops[-1].body if open_loops else top_level
+
+        while not stream.check(TokenKind.EOF):
+            stmt = self._parse_statement()
+            if isinstance(stmt, _EndDo):
+                if not open_loops:
+                    raise ParseError("ENDDO without an open DO loop")
+                open_loops.pop()
+                continue
+            container().append(stmt)
+            if isinstance(stmt, DoLoop):
+                open_loops.append(stmt)
+                continue
+            # A labelled statement may close one or more DO loops whose
+            # terminal label matches (innermost first).
+            while (
+                open_loops
+                and stmt.label is not None
+                and open_loops[-1].terminal_label == stmt.label
+            ):
+                open_loops.pop()
+        if open_loops:
+            raise ParseError(
+                f"DO loop over {open_loops[-1].var!r} is never closed "
+                f"(terminal label {open_loops[-1].terminal_label!r})"
+            )
+        return SourceProgram(statements=top_level)
+
+
+class _EndDo(Stmt):
+    """Parser-internal marker for ENDDO lines."""
+
+    def __init__(self, label: str | None):
+        self.label = label
+
+
+def parse_source(source: str) -> SourceProgram:
+    """Parse mini-Fortran text into an AST."""
+    return Parser(source).parse_program()

@@ -1,0 +1,76 @@
+"""The ASU scalar data cache.
+
+Paper §2: the ASU "contains the scalar function units, scalar
+registers, and cache", and "the VP accesses memory directly, bypassing
+the scalar unit data cache".  Cache misses are one of the unmodeled
+effects §3.2 lists.
+
+This is a direct-mapped, write-through, no-write-allocate cache for
+*scalar* accesses only (vector streams never touch it).  It is off by
+default — the base configuration models every scalar load at the flat
+cache-hit-ish latency the bounds calibration assumes — and can be
+switched on to study sensitivity to scalar locality
+(`MachineConfig.with_scalar_cache()`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineError
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class ScalarCache:
+    """Direct-mapped cache over 8-byte-word addresses."""
+
+    def __init__(self, lines: int, line_words: int):
+        if lines <= 0 or line_words <= 0:
+            raise MachineError(
+                f"cache needs positive geometry, got {lines} lines x "
+                f"{line_words} words"
+            )
+        if lines & (lines - 1) or line_words & (line_words - 1):
+            raise MachineError(
+                "cache lines and line size must be powers of two"
+            )
+        self.lines = lines
+        self.line_words = line_words
+        self._tags: list[int | None] = [None] * lines
+        self.stats = CacheStats()
+
+    def _locate(self, word_address: int) -> tuple[int, int]:
+        block = word_address // self.line_words
+        return block % self.lines, block
+
+    def load(self, word_address: int) -> bool:
+        """Service a scalar load; returns True on hit (and allocates
+        on miss)."""
+        index, tag = self._locate(word_address)
+        if self._tags[index] == tag:
+            self.stats.hits += 1
+            return True
+        self._tags[index] = tag
+        self.stats.misses += 1
+        return False
+
+    def store(self, word_address: int) -> None:
+        """Write-through, no-write-allocate: update a resident line's
+        data (a no-op for timing), never allocate."""
+        # Direct-mapped write-through keeps the tag array unchanged.
+
+    def invalidate(self) -> None:
+        self._tags = [None] * self.lines

@@ -1,0 +1,99 @@
+"""Multiprocessor memory-contention model (paper §4.2, Figure 3).
+
+The C-240 has four CPUs sharing one memory; the paper measured each
+kernel twice — alone on an idle machine, and with an uncontrolled user
+workload on the other three CPUs (load average 5.1).  Its rules of
+thumb:
+
+* four *different* programs: ~20% throughput degradation;
+* four processes of the *same* executable fall into lockstep: 5–10%;
+* effective memory access time stretches from the 40 ns peak to
+  56–64 ns under typical contention.
+
+We model contention as a multiplier on the vector memory streaming rate
+(one access per ``40 * factor`` ns).  :func:`contention_factor_for_load`
+maps a workload description to that multiplier; the observable slowdown
+of a whole kernel is smaller than the factor because non-memory chime
+time masks part of it — exactly the paper's remark that "some of the
+degradation in memory access performance is masked by other
+operations."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MachineError
+from ..isa.program import Program
+from .config import DEFAULT_CONFIG, MachineConfig
+from .simulator import SimulationResult, run_program
+
+
+class WorkloadMix(enum.Enum):
+    """What the other three CPUs are running."""
+
+    IDLE = "idle"
+    SAME_EXECUTABLE = "same-executable"  # lockstep, mild contention
+    DIFFERENT_PROGRAMS = "different-programs"  # typical heavy contention
+
+
+#: Effective memory access time in ns for each mix (paper §4.2: 40 ns
+#: peak; 56–64 ns typical under load — we take the midpoint 60 ns for
+#: unrelated programs and 44 ns for lockstepped copies).
+_EFFECTIVE_ACCESS_NS = {
+    WorkloadMix.IDLE: 40.0,
+    WorkloadMix.SAME_EXECUTABLE: 44.0,
+    WorkloadMix.DIFFERENT_PROGRAMS: 60.0,
+}
+
+
+def contention_factor_for_load(
+    mix: WorkloadMix, load_average: float = 5.1
+) -> float:
+    """Memory-rate multiplier for a workload mix.
+
+    ``load_average`` scales the DIFFERENT_PROGRAMS case: below 4 the
+    machine is not saturated and contention shrinks proportionally;
+    above 4 (the paper measured 5.1) the ports are saturated and the
+    factor tops out at the 56–64 ns band.
+    """
+    if load_average < 0:
+        raise MachineError(f"load_average must be >= 0, got {load_average}")
+    base_ns = _EFFECTIVE_ACCESS_NS[mix]
+    if mix is WorkloadMix.DIFFERENT_PROGRAMS and load_average < 4.0:
+        # Interpolate between idle and saturated as CPUs fill up.
+        fraction = load_average / 4.0
+        base_ns = 40.0 + fraction * (base_ns - 40.0)
+    return base_ns / 40.0
+
+
+@dataclass(frozen=True)
+class ContentionComparison:
+    """Single- vs multi-process timing for one program."""
+
+    single: SimulationResult
+    loaded: SimulationResult
+
+    @property
+    def degradation_percent(self) -> float:
+        """Run-time increase of the loaded run over the idle run."""
+        return 100.0 * (self.loaded.cycles / self.single.cycles - 1.0)
+
+
+def run_under_contention(
+    program: Program,
+    mix: WorkloadMix = WorkloadMix.DIFFERENT_PROGRAMS,
+    load_average: float = 5.1,
+    config: MachineConfig = DEFAULT_CONFIG,
+    initial_data: dict[str, np.ndarray] | None = None,
+) -> ContentionComparison:
+    """Run ``program`` on an idle and on a loaded machine and compare."""
+    single = run_program(program, config, initial_data=initial_data)
+    loaded_config = config.with_contention(
+        contention_factor_for_load(mix, load_average)
+    )
+    loaded = run_program(program, loaded_config, initial_data=initial_data)
+    return ContentionComparison(single=single, loaded=loaded)

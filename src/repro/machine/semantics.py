@@ -1,0 +1,204 @@
+"""Functional (value-level) semantics of the instruction set.
+
+The simulator executes programs both for *timing* and for *values*;
+value-level execution lets the test suite check the compiler against
+NumPy reference implementations of the kernels, exactly as one would
+validate generated code against the source program on real hardware.
+
+:func:`execute_instruction` applies one instruction to a
+:class:`~repro.machine.state.RegisterFile` and
+:class:`~repro.machine.memory.MemorySystem` and returns the branch
+outcome (taken target label or None).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..isa.instructions import Instruction, OpClass
+from ..isa.operands import Immediate, LabelRef, MemRef, Operand
+from ..isa.program import DataLayout
+from ..isa.registers import Register, RegisterClass
+from .memory import MemorySystem
+from .state import RegisterFile
+
+
+def effective_address(
+    mem: MemRef, regfile: RegisterFile, layout: DataLayout
+) -> int:
+    """Byte address of a memory operand: symbol base + disp + base reg."""
+    address = regfile.read(mem.base) + mem.displacement
+    if mem.symbol is not None:
+        address += layout.lookup(mem.symbol).offset_bytes
+    return int(address)
+
+
+def _scalar_value(
+    operand: Operand, regfile: RegisterFile
+) -> float | int:
+    if isinstance(operand, Immediate):
+        return operand.value
+    if isinstance(operand, Register):
+        return regfile.read(operand)
+    raise SimulationError(f"operand {operand} has no scalar value")
+
+
+def _vector_or_scalar(
+    operand: Operand, regfile: RegisterFile
+) -> np.ndarray | float:
+    """Fetch an ALU input: vector elements, or a scalar to broadcast."""
+    if isinstance(operand, Register) and operand.is_vector:
+        return regfile.read_vector(operand)
+    return float(_scalar_value(operand, regfile))
+
+
+def _alu(instr: Instruction, lhs, rhs) -> np.ndarray | float:
+    mnemonic = instr.mnemonic
+    if mnemonic == "add":
+        return lhs + rhs
+    if mnemonic == "sub":
+        return lhs - rhs
+    if mnemonic == "mul":
+        return lhs * rhs
+    if mnemonic == "div":
+        return lhs / rhs
+    raise SimulationError(f"no ALU semantics for {mnemonic}")
+
+
+def _execute_memory(
+    instr: Instruction,
+    regfile: RegisterFile,
+    memory: MemorySystem,
+    layout: DataLayout,
+) -> None:
+    mem = instr.memory_operand
+    assert mem is not None
+    address = effective_address(mem, regfile, layout)
+    if instr.mnemonic == "ld":
+        dest = instr.operands[1]
+        if not isinstance(dest, Register):
+            raise SimulationError(f"ld destination {dest} is not a register")
+        if dest.is_vector:
+            values = memory.read_vector(address, mem.stride_words, regfile.vl)
+            regfile.write_vector(dest, values)
+        else:
+            regfile.write(dest, memory.read_word(address))
+    else:  # st
+        src = instr.operands[0]
+        if not isinstance(src, Register):
+            raise SimulationError(f"st source {src} is not a register")
+        if src.is_vector:
+            memory.write_vector(
+                address, mem.stride_words, regfile.read_vector(src)
+            )
+        else:
+            memory.write_word(address, float(regfile.read(src)))
+
+
+def _execute_arithmetic(instr: Instruction, regfile: RegisterFile) -> None:
+    dest = instr.destination
+    if not isinstance(dest, Register):
+        raise SimulationError(f"{instr} has no register destination")
+    if len(instr.operands) == 3:
+        lhs = _vector_or_scalar(instr.operands[0], regfile)
+        rhs = _vector_or_scalar(instr.operands[1], regfile)
+    else:  # two-operand accumulate: dest is also the right-hand source
+        lhs = _vector_or_scalar(instr.operands[0], regfile)
+        rhs = _vector_or_scalar(dest, regfile)
+        if instr.mnemonic in ("sub", "div"):
+            # Convex accumulate forms compute dest := dest OP src.
+            lhs, rhs = rhs, lhs
+    result = _alu(instr, lhs, rhs)
+    if dest.is_vector:
+        if np.isscalar(result) or getattr(result, "ndim", 1) == 0:
+            result = np.full(regfile.vl, float(result))
+        regfile.write_vector(dest, np.asarray(result, dtype=np.float64))
+    else:
+        regfile.write(dest, float(np.asarray(result).flat[0])
+                      if hasattr(result, "flat") else float(result))
+
+
+def _execute_neg(instr: Instruction, regfile: RegisterFile) -> None:
+    src, dest = instr.operands
+    if not isinstance(src, Register) or not isinstance(dest, Register):
+        raise SimulationError(f"neg operands must be registers: {instr}")
+    if src.is_vector and dest.is_vector:
+        regfile.write_vector(dest, -regfile.read_vector(src))
+    elif not src.is_vector and not dest.is_vector:
+        regfile.write(dest, -regfile.read(src))
+    else:
+        raise SimulationError(f"neg cannot mix vector and scalar: {instr}")
+
+
+def _execute_sum(instr: Instruction, regfile: RegisterFile) -> None:
+    src, dest = instr.operands
+    if (
+        not isinstance(src, Register)
+        or not src.is_vector
+        or not isinstance(dest, Register)
+        or dest.rclass is not RegisterClass.SCALAR
+    ):
+        raise SimulationError(
+            f"sum expects vector source and scalar destination: {instr}"
+        )
+    regfile.write(dest, float(regfile.read_vector(src).sum()))
+
+
+def _execute_move(instr: Instruction, regfile: RegisterFile) -> None:
+    src, dest = instr.operands
+    if not isinstance(dest, Register):
+        raise SimulationError(f"mov destination must be a register: {instr}")
+    if isinstance(src, Register) and src.is_vector and dest.is_vector:
+        regfile.write_vector(dest, regfile.read_vector(src).copy())
+        return
+    regfile.write(dest, _scalar_value(src, regfile))
+
+
+def _execute_compare(instr: Instruction, regfile: RegisterFile) -> None:
+    lhs = _scalar_value(instr.operands[0], regfile)
+    rhs = _scalar_value(instr.operands[1], regfile)
+    if instr.mnemonic == "lt":
+        regfile.flag = lhs < rhs
+    elif instr.mnemonic == "le":
+        regfile.flag = lhs <= rhs
+    elif instr.mnemonic == "eq":
+        regfile.flag = lhs == rhs
+    else:
+        raise SimulationError(f"unknown compare {instr.mnemonic}")
+
+
+def branch_target(instr: Instruction, regfile: RegisterFile) -> str | None:
+    """Label the branch transfers to, or None for fall-through."""
+    target = instr.operands[0]
+    assert isinstance(target, LabelRef)
+    if instr.mnemonic == "jbr":
+        return target.name
+    # jbrs: conditional on the test flag; suffix selects the sense.
+    taken = regfile.flag if instr.suffix == "t" else not regfile.flag
+    return target.name if taken else None
+
+
+def execute_instruction(
+    instr: Instruction,
+    regfile: RegisterFile,
+    memory: MemorySystem,
+    layout: DataLayout,
+) -> str | None:
+    """Apply one instruction; return the taken branch label, if any."""
+    opclass = instr.spec.opclass
+    if opclass is OpClass.MEMORY:
+        _execute_memory(instr, regfile, memory, layout)
+    elif opclass is OpClass.REDUCTION:
+        _execute_sum(instr, regfile)
+    elif opclass is OpClass.MOVE:
+        _execute_move(instr, regfile)
+    elif opclass is OpClass.COMPARE:
+        _execute_compare(instr, regfile)
+    elif opclass is OpClass.BRANCH:
+        return branch_target(instr, regfile)
+    elif instr.mnemonic == "neg":
+        _execute_neg(instr, regfile)
+    else:
+        _execute_arithmetic(instr, regfile)
+    return None

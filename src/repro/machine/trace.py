@@ -1,0 +1,115 @@
+"""Pipeline trace analysis and rendering (paper Figure 2).
+
+Turns the per-instruction timing records produced by the simulator into
+chime-level summaries and an ASCII timeline in the style of the paper's
+Figure 2 ("Chaining with Perfect Tailgating in the Function Unit
+Pipelines").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.instructions import Pipe
+from .pipeline import InstructionTiming
+
+
+@dataclass(frozen=True)
+class PipeOccupancy:
+    """One instruction's residency in a function pipe."""
+
+    pipe: Pipe
+    name: str
+    start: float
+    first_result: float
+    complete: float
+
+
+def vector_occupancies(
+    trace: list[InstructionTiming],
+) -> list[PipeOccupancy]:
+    """Extract pipe residency intervals for every vector instruction."""
+    occupancies = []
+    for entry in trace:
+        if entry.pipe is None:
+            continue
+        occupancies.append(
+            PipeOccupancy(
+                pipe=entry.pipe,
+                name=entry.instruction.name,
+                start=entry.start,
+                first_result=entry.first_result,
+                complete=entry.complete,
+            )
+        )
+    return occupancies
+
+
+def chime_completion_times(
+    trace: list[InstructionTiming],
+) -> list[float]:
+    """Completion time of each vector instruction, in execution order."""
+    return [t.complete for t in trace if t.pipe is not None]
+
+
+def render_timeline(
+    trace: list[InstructionTiming],
+    width: int = 72,
+    start: float | None = None,
+    end: float | None = None,
+) -> str:
+    """ASCII Gantt chart of vector pipe occupancy.
+
+    Each vector instruction is one row: ``.`` for issue/wait time,
+    ``=`` while elements stream through the pipe (start to complete),
+    ``|`` marking the first-result (chaining) point.
+    """
+    rows = vector_occupancies(trace)
+    if not rows:
+        return "(no vector instructions in trace)"
+    t0 = min(r.start for r in rows) if start is None else start
+    t1 = max(r.complete for r in rows) if end is None else end
+    span = max(t1 - t0, 1.0)
+    scale = (width - 1) / span
+
+    def column(t: float) -> int:
+        return max(0, min(width - 1, int((t - t0) * scale)))
+
+    lines = [
+        f"cycles {t0:.0f}..{t1:.0f}  "
+        f"(1 column ~ {span / (width - 1):.1f} cycles)"
+    ]
+    for r in rows:
+        cells = [" "] * width
+        c_start, c_end = column(r.start), column(r.complete)
+        for c in range(c_start, c_end + 1):
+            cells[c] = "="
+        cells[column(r.first_result)] = "|"
+        label = f"{r.name:<8.8s}[{r.pipe.value[:5]:<5s}]"
+        lines.append(f"{label} {''.join(cells)}")
+    return "\n".join(lines)
+
+
+def steady_state_chime_cycles(
+    completions: list[float], instructions_per_iteration: int
+) -> float:
+    """Average cycles per loop iteration once the pipeline has warmed up.
+
+    ``completions`` is the completion time of the final vector
+    instruction of each iteration (e.g. every Nth entry of
+    :func:`chime_completion_times`); warm-up (first quarter) is
+    discarded.
+    """
+    if instructions_per_iteration <= 0:
+        raise ValueError("instructions_per_iteration must be positive")
+    per_iteration = completions[
+        instructions_per_iteration - 1 :: instructions_per_iteration
+    ]
+    if len(per_iteration) < 2:
+        raise ValueError(
+            "need at least two complete iterations to measure steady state"
+        )
+    skip = len(per_iteration) // 4
+    tail = per_iteration[skip:] if len(per_iteration) - skip >= 2 else per_iteration
+    deltas = [b - a for a, b in zip(tail, tail[1:])]
+    return sum(deltas) / len(deltas)

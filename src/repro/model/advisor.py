@@ -1,0 +1,199 @@
+"""Goal-directed optimization advisor.
+
+The paper's conclusion: *"Aspects of the MACS bounds hierarchy could be
+incorporated within a goal-directed optimizing compiler that would
+efficiently assess where and how best to spend its time."*  This module
+is a prototype of that idea: it reads a :class:`KernelAnalysis` and
+emits ranked, quantified advice — each item names the hierarchy gap it
+attacks, the concrete change, and the estimated CPL payoff.
+
+The estimates are the gap sizes the hierarchy itself exposes (that is
+the whole point of the method): eliminating a compiler-inserted reload
+is worth exactly its MA→MAC contribution, fixing the schedule is worth
+MAC→MACS, and so on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .hierarchy import KernelAnalysis
+
+
+class AdviceTarget(enum.Enum):
+    """Who can act on the advice (the paper's user/compiler/architect)."""
+
+    APPLICATION = "application"
+    COMPILER = "compiler"
+    SCHEDULER = "scheduler"
+    MACHINE = "machine"
+
+
+@dataclass(frozen=True)
+class Advice:
+    """One ranked optimization suggestion."""
+
+    target: AdviceTarget
+    summary: str
+    estimated_savings_cpl: float
+    gap: str  # which hierarchy gap the advice attacks
+
+    def estimated_savings_percent(self, t_p_cpl: float) -> float:
+        return 100.0 * self.estimated_savings_cpl / t_p_cpl
+
+    def render(self, t_p_cpl: float | None = None) -> str:
+        payoff = f"{self.estimated_savings_cpl:.2f} CPL"
+        if t_p_cpl:
+            payoff += (
+                f" ({self.estimated_savings_percent(t_p_cpl):.0f}% of"
+                " run time)"
+            )
+        return f"[{self.target.value}] {self.summary} — est. {payoff}"
+
+
+def advise(analysis: KernelAnalysis) -> list[Advice]:
+    """Ranked advice for one analyzed kernel (largest payoff first)."""
+    items: list[Advice] = []
+
+    # --- MA -> MAC: compiler-inserted work --------------------------------
+    compiler_gap = analysis.compiler_gap_cpl()
+    if compiler_gap > 0.01:
+        extra_mem = (
+            analysis.mac.counts.memory_ops - analysis.ma.counts.memory_ops
+        )
+        if extra_mem > 0:
+            items.append(
+                Advice(
+                    target=AdviceTarget.COMPILER,
+                    summary=(
+                        f"keep shifted stream elements in registers "
+                        f"instead of reloading ({extra_mem} excess "
+                        "memory op(s) per iteration)"
+                    ),
+                    estimated_savings_cpl=compiler_gap,
+                    gap="MA->MAC",
+                )
+            )
+        else:
+            items.append(
+                Advice(
+                    target=AdviceTarget.COMPILER,
+                    summary="eliminate compiler-inserted arithmetic",
+                    estimated_savings_cpl=compiler_gap,
+                    gap="MA->MAC",
+                )
+            )
+
+    # --- MAC -> MACS: schedule effects -------------------------------------
+    schedule_gap = analysis.schedule_gap_cpl()
+    splits = analysis.macs.partition.scalar_memory_splits
+    if schedule_gap > 0.05:
+        if splits:
+            items.append(
+                Advice(
+                    target=AdviceTarget.SCHEDULER,
+                    summary=(
+                        f"hoist or batch the {splits} scalar memory "
+                        "reference(s) that split chimes (e.g. reduce "
+                        "scalar FP constant pressure so none spill)"
+                    ),
+                    estimated_savings_cpl=schedule_gap,
+                    gap="MAC->MACS",
+                )
+            )
+        else:
+            items.append(
+                Advice(
+                    target=AdviceTarget.SCHEDULER,
+                    summary=(
+                        "reorder instructions/reassign registers so "
+                        "floating point and memory operations merge "
+                        "into fewer chimes"
+                    ),
+                    estimated_savings_cpl=schedule_gap,
+                    gap="MAC->MACS",
+                )
+            )
+
+    # --- MACS -> actual: unmodeled effects ---------------------------------
+    unmodeled = analysis.unmodeled_gap_cpl()
+    if analysis.t_p_cpl is not None and unmodeled > 0.1 * analysis.t_p_cpl:
+        profile = analysis.spec.trip_profile
+        average_trips = (
+            sum(profile) / len(profile) if profile else float("inf")
+        )
+        if average_trips < 128:
+            items.append(
+                Advice(
+                    target=AdviceTarget.APPLICATION,
+                    summary=(
+                        "restructure for longer vectors (average inner "
+                        f"trip count is {average_trips:.0f} < VL=128: "
+                        "startup and outer-loop overhead dominate)"
+                    ),
+                    estimated_savings_cpl=unmodeled,
+                    gap="MACS->actual",
+                )
+            )
+        elif analysis.ax is not None and analysis.ax.overlap_quality(
+            analysis.t_p_cpl
+        ) > 0.15:
+            items.append(
+                Advice(
+                    target=AdviceTarget.SCHEDULER,
+                    summary=(
+                        "improve access/execute overlap (t_p is well "
+                        "above MAX(t_a, t_x))"
+                    ),
+                    estimated_savings_cpl=unmodeled,
+                    gap="MACS->actual",
+                )
+            )
+        else:
+            items.append(
+                Advice(
+                    target=AdviceTarget.MACHINE,
+                    summary=(
+                        "residual machine effects (refresh alignment, "
+                        "pipeline fill) — consider them noise"
+                    ),
+                    estimated_savings_cpl=unmodeled,
+                    gap="MACS->actual",
+                )
+            )
+
+    # --- structural: memory-bound at the MA level --------------------------
+    if analysis.ma.memory_bound and analysis.ma.t_m > analysis.ma.t_f:
+        headroom = analysis.ma.t_m - analysis.ma.t_f
+        items.append(
+            Advice(
+                target=AdviceTarget.APPLICATION,
+                summary=(
+                    "the loop is memory-limited even under ideal "
+                    "compilation; increasing arithmetic intensity or "
+                    "blocking for reuse raises the ceiling"
+                ),
+                estimated_savings_cpl=headroom,
+                gap="MA structure",
+            )
+        )
+
+    items.sort(key=lambda a: a.estimated_savings_cpl, reverse=True)
+    return items
+
+
+def advise_report(analysis: KernelAnalysis) -> str:
+    """Human-readable ranked advice for one kernel."""
+    items = advise(analysis)
+    lines = [
+        f"optimization advice for {analysis.spec.name.upper()} "
+        f"(measured {analysis.t_p_cpl:.2f} CPL)"
+        if analysis.t_p_cpl is not None
+        else f"optimization advice for {analysis.spec.name.upper()}"
+    ]
+    if not items:
+        lines.append("  nothing to do: performance is at the MA bound")
+    for rank, advice in enumerate(items, start=1):
+        lines.append(f"  {rank}. {advice.render(analysis.t_p_cpl)}")
+    return "\n".join(lines)

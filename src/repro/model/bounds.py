@@ -1,0 +1,55 @@
+"""The MA and MAC bounds (paper §3.1, eqs. 1–4).
+
+Both bounds assume one element per clock on each function pipe and
+perfect overlap between the pipes, so a workload of counts ``(f_a,
+f_m, l, s)`` is bounded by ``max(max(f_a, f_m), l + s)`` cycles per
+source loop iteration.  MA uses the idealized source counts, MAC the
+compiler-generated counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from .counts import OperationCounts
+
+
+@dataclass(frozen=True)
+class BoundsRow:
+    """One level of the bounds hierarchy in CPL, with its components."""
+
+    counts: OperationCounts
+
+    @property
+    def t_f(self) -> float:
+        return self.counts.t_f
+
+    @property
+    def t_m(self) -> float:
+        return self.counts.t_m
+
+    @property
+    def cpl(self) -> float:
+        """The bound: ``max(t_f, t_m)`` cycles per source iteration."""
+        return max(self.t_f, self.t_m)
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when the memory component dominates (bold in Table 3)."""
+        return self.t_m >= self.t_f
+
+    def cpf(self, flops_per_iteration: int) -> float:
+        if flops_per_iteration <= 0:
+            raise ModelError("flops_per_iteration must be positive")
+        return self.cpl / flops_per_iteration
+
+
+def ma_bound(counts: OperationCounts) -> BoundsRow:
+    """``t_MA`` from idealized source counts (eq. 1)."""
+    return BoundsRow(counts)
+
+
+def mac_bound(counts: OperationCounts) -> BoundsRow:
+    """``t_MAC`` from compiler-generated counts."""
+    return BoundsRow(counts)

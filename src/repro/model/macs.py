@@ -1,0 +1,101 @@
+"""The MACS bound (paper §3.4) and its f/m decompositions.
+
+``t_MACS`` applies the chime-partitioning rules of §3.3 to the actual
+compiled-and-scheduled inner loop, costs each chime at
+``max(Z)*VL + sum(B)``, applies the memory-refresh rule, and divides
+by VL.  ``t_MACS_f`` (written ``t_f''``) repeats the computation with
+all vector memory instructions deleted; ``t_MACS_m`` (``t_m''``) with
+all vector floating-point instructions deleted.  ``t_MACS`` exceeds
+``max(t_f'', t_m'')`` whenever the full instruction mix cannot merge
+perfectly into chimes — scalar-memory chime splits (LFK8) being the
+dramatic case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ModelError
+from ..isa.instructions import Instruction
+from ..isa.program import Program
+from ..isa.timing import TimingTable, default_timing_table
+from ..schedule.chimes import ChimePartition, ChimeRules, DEFAULT_RULES, partition_chimes
+
+
+def inner_loop_body(program: Program) -> tuple[Instruction, ...]:
+    """The instruction sequence of the innermost (strip) loop."""
+    return program.loop_slice(program.innermost_loop())
+
+
+@dataclass(frozen=True)
+class MacsBound:
+    """A MACS-style bound with its chime partition."""
+
+    partition: ChimePartition
+    vl: int
+    cpl: float
+
+    @property
+    def chime_count(self) -> int:
+        return len(self.partition)
+
+
+def _bound_for(
+    instructions,
+    vl: int,
+    timings: TimingTable,
+    rules: ChimeRules,
+    refresh: bool,
+) -> MacsBound:
+    partition = partition_chimes(instructions, rules)
+    cpl = partition.cpl(vl, timings, refresh) if len(partition) else 0.0
+    return MacsBound(partition=partition, vl=vl, cpl=cpl)
+
+
+def macs_bound(
+    program: Program,
+    vl: int = 128,
+    timings: TimingTable | None = None,
+    rules: ChimeRules = DEFAULT_RULES,
+    refresh: bool = True,
+) -> MacsBound:
+    """``t_MACS`` of a compiled program's innermost loop."""
+    if timings is None:
+        timings = default_timing_table()
+    if vl <= 0:
+        raise ModelError(f"VL must be positive, got {vl}")
+    return _bound_for(
+        inner_loop_body(program), vl, timings, rules, refresh
+    )
+
+
+def macs_f_bound(
+    program: Program,
+    vl: int = 128,
+    timings: TimingTable | None = None,
+    rules: ChimeRules = DEFAULT_RULES,
+    refresh: bool = True,
+) -> MacsBound:
+    """``t_f''``: MACS applied with vector memory operations deleted."""
+    if timings is None:
+        timings = default_timing_table()
+    body = [
+        i for i in inner_loop_body(program) if not i.is_vector_memory
+    ]
+    return _bound_for(body, vl, timings, rules, refresh)
+
+
+def macs_m_bound(
+    program: Program,
+    vl: int = 128,
+    timings: TimingTable | None = None,
+    rules: ChimeRules = DEFAULT_RULES,
+    refresh: bool = True,
+) -> MacsBound:
+    """``t_m''``: MACS applied with vector floating point deleted."""
+    if timings is None:
+        timings = default_timing_table()
+    body = [
+        i for i in inner_loop_body(program) if not i.is_vector_fp
+    ]
+    return _bound_for(body, vl, timings, rules, refresh)

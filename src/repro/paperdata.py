@@ -1,0 +1,81 @@
+"""Reference numbers transcribed from the paper.
+
+Used by the integration tests and EXPERIMENTS.md to compare the
+reproduction against the published results.  All CPF values are from
+Table 4; Table 5 CPL values carry the column-labeling caveat discussed
+in :mod:`repro.experiments.table5`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperTable4Row:
+    kernel: int
+    t_ma_cpf: float
+    t_mac_cpf: float
+    t_macs_cpf: float
+    t_c_cpf: float
+
+
+#: Table 4: Comparison of Bounds with Measured Performance (CPF).
+PAPER_TABLE4: dict[int, PaperTable4Row] = {
+    row.kernel: row
+    for row in (
+        PaperTable4Row(1, 0.600, 0.800, 0.840, 0.852),
+        PaperTable4Row(2, 1.250, 1.500, 1.566, 3.773),
+        PaperTable4Row(3, 1.000, 1.000, 1.044, 1.128),
+        PaperTable4Row(4, 1.000, 1.000, 1.226, 1.863),
+        PaperTable4Row(6, 1.000, 1.000, 1.226, 2.632),
+        PaperTable4Row(7, 0.500, 0.625, 0.656, 0.681),
+        PaperTable4Row(8, 0.583, 0.583, 0.824, 0.858),
+        PaperTable4Row(9, 0.647, 0.647, 0.679, 0.749),
+        PaperTable4Row(10, 2.222, 2.222, 2.328, 2.442),
+        PaperTable4Row(12, 2.000, 3.000, 3.132, 3.182),
+    )
+}
+
+#: Table 4 bottom row: harmonic-mean MFLOPS at each level.
+PAPER_HMEAN_MFLOPS = {
+    "ma": 23.15,
+    "mac": 20.19,
+    "macs": 17.79,
+    "actual": 13.16,
+}
+
+#: Table 1: X / Y / Z / B per vector instruction class (VL = 128).
+PAPER_TABLE1 = {
+    "load": (2, 10, 1.00, 2),
+    "store": (2, 10, 1.00, 4),
+    "add": (2, 10, 1.00, 1),
+    "mul": (2, 12, 1.00, 1),
+    "sub": (2, 10, 1.00, 1),
+    "div": (2, 72, 4.00, 21),
+    "sum": (2, 10, 1.35, 0),
+    "neg": (2, 10, 1.00, 1),
+}
+
+#: §3.5 walkthrough: LFK1 chime cycles and totals.
+PAPER_LFK1_CHIMES = (131.0, 132.0, 132.0, 132.0)
+PAPER_LFK1_TOTAL = 527.0
+PAPER_LFK1_WITH_REFRESH = 537.54
+PAPER_LFK1_T_MACS_CPL = 4.200
+
+#: §3.3 / Figure 2: the chained ld/add/mul example.
+PAPER_FIG2_UNCHAINED = 422.0
+PAPER_FIG2_CHAINED = 162.0
+PAPER_FIG2_CHAINED_WITH_BUBBLES = 166.0
+PAPER_FIG2_STEADY_STATE = 132.0
+
+#: Kernels for which the MACS bound explains >= 90% of measured time.
+PAPER_MACS_EXPLAINS_90 = frozenset({1, 3, 7, 8, 9, 10, 12})
+#: Kernels with large unmodeled gaps (short vectors / outer overhead).
+PAPER_MACS_GAP_KERNELS = frozenset({2, 4, 6})
+#: Kernels where the MA bound explains >= 80% of measured time.
+PAPER_MA_EXPLAINS_80 = frozenset({3, 9, 10})
+#: Kernels whose A/X processes overlap poorly (t_p >> MAX(t_a, t_x)).
+PAPER_POOR_OVERLAP = frozenset({2, 4, 6, 8})
+#: Kernels where the compiler inflates the memory workload (MA < MAC).
+PAPER_COMPILER_GAP = frozenset({1, 2, 7, 12})

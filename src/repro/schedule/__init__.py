@@ -1,0 +1,25 @@
+"""Chime scheduling analysis (paper §3.3–3.4).
+
+Public surface: :func:`partition_chimes`, :class:`ChimePartition`,
+:class:`Chime`, :class:`ChimeRules`, and the refresh constants.
+"""
+
+from .chimes import (
+    Chime,
+    ChimePartition,
+    ChimeRules,
+    DEFAULT_RULES,
+    REFRESH_FACTOR,
+    REFRESH_RUN_LENGTH,
+    partition_chimes,
+)
+
+__all__ = [
+    "Chime",
+    "ChimePartition",
+    "ChimeRules",
+    "DEFAULT_RULES",
+    "REFRESH_FACTOR",
+    "REFRESH_RUN_LENGTH",
+    "partition_chimes",
+]

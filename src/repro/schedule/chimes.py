@@ -1,0 +1,272 @@
+"""Chime partitioning (paper §3.3).
+
+A *chime* is a group of vector instructions executing concurrently on
+the VP's three function pipes, chained where dependent.  The paper's
+rules, each individually toggleable for ablation studies:
+
+1. at most one vector instruction per function pipe per chime;
+2. at most **two reads and one write per vector register pair**
+   (``{v0,v4} {v1,v5} {v2,v6} {v3,v7}``) per chime;
+3. a chime including a vector memory access cannot span a scalar
+   memory access — the chime is terminated at the scalar reference
+   (but FP-only chimes span scalar memory freely, which is why LFK8's
+   scalar loads hurt ``t_MACS`` and not ``t_f''``);
+4. scalar non-memory instructions are transparent (masked by the VP).
+
+A chime's steady-state cost is ``max(Z_i) * VL + sum(B_i)`` (paper
+eq. 13); the memory-refresh rule multiplies every run of four or more
+consecutive memory-containing chimes by 1.02 (§3.4).  The chime list
+repeats every loop iteration, so runs are detected circularly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from ..errors import ScheduleError
+from ..isa.instructions import Instruction, Pipe
+from ..isa.registers import Register
+from ..isa.timing import TimingTable, default_timing_table
+
+#: Refresh penalty factor: an 8-cycle refresh every 400 cycles (§3.2).
+REFRESH_FACTOR = 1.02
+#: Minimum run of consecutive memory chimes that exposes refreshes.
+REFRESH_RUN_LENGTH = 4
+
+
+@dataclass(frozen=True)
+class ChimeRules:
+    """Which partitioning constraints to enforce (ablation switches)."""
+
+    enforce_register_pairs: bool = True
+    scalar_memory_splits: bool = True
+
+
+DEFAULT_RULES = ChimeRules()
+
+
+@dataclass
+class Chime:
+    """One group of concurrently executing vector instructions."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    #: True when a scalar memory access forced this chime to end
+    split_by_scalar_memory: bool = False
+
+    @property
+    def has_memory_op(self) -> bool:
+        return any(i.is_vector_memory for i in self.instructions)
+
+    def pipes_used(self) -> set[Pipe]:
+        return {i.pipe for i in self.instructions if i.pipe is not None}
+
+    def cycles(self, vl: int, timings: TimingTable) -> float:
+        """Steady-state cost: ``max(Z * VL_eff) + sum(B)`` (eq. 13,
+        with each instruction's VL floored at its §3.2 threshold)."""
+        if not self.instructions:
+            raise ScheduleError("empty chime has no cost")
+        max_stream = 0.0
+        total_b = 0
+        for instr in self.instructions:
+            timing = timings.lookup(instr.timing_key)
+            max_stream = max(
+                max_stream, timing.z * timing.effective_vl(vl)
+            )
+            total_b += timing.b
+        return max_stream + total_b
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class _ChimeBuilder:
+    """Incremental constraint tracking for the current chime."""
+
+    def __init__(self, rules: ChimeRules):
+        self.rules = rules
+        self.instructions: list[Instruction] = []
+        self._pipes: set[Pipe] = set()
+        self._pair_reads: dict[int, int] = {}
+        self._pair_writes: dict[int, int] = {}
+        self._scalar_memory_barrier = False
+
+    def note_scalar_memory(self) -> bool:
+        """Record a scalar memory access; True if the chime must end."""
+        if not self.rules.scalar_memory_splits:
+            return False
+        if any(i.is_vector_memory for i in self.instructions):
+            return True  # terminated at the later of the two references
+        self._scalar_memory_barrier = True
+        return False
+
+    def _pair_reads_of(self, instr: Instruction) -> list[int]:
+        pairs = []
+        for operand in instr.sources:
+            if isinstance(operand, Register) and operand.is_vector:
+                pairs.append(operand.pair_index)
+        return pairs
+
+    def fits(self, instr: Instruction) -> bool:
+        pipe = instr.pipe
+        assert pipe is not None
+        if pipe in self._pipes:
+            return False
+        if instr.is_vector_memory and self._scalar_memory_barrier:
+            return False  # cannot span the scalar memory reference
+        if self.rules.enforce_register_pairs:
+            reads = dict(self._pair_reads)
+            for pair in self._pair_reads_of(instr):
+                reads[pair] = reads.get(pair, 0) + 1
+                if reads[pair] > 2:
+                    return False
+            for reg in instr.vector_writes:
+                if self._pair_writes.get(reg.pair_index, 0) + 1 > 1:
+                    return False
+        return True
+
+    def add(self, instr: Instruction) -> None:
+        pipe = instr.pipe
+        assert pipe is not None
+        self.instructions.append(instr)
+        self._pipes.add(pipe)
+        for pair in self._pair_reads_of(instr):
+            self._pair_reads[pair] = self._pair_reads.get(pair, 0) + 1
+        for reg in instr.vector_writes:
+            self._pair_writes[reg.pair_index] = (
+                self._pair_writes.get(reg.pair_index, 0) + 1
+            )
+
+
+@dataclass
+class ChimePartition:
+    """The chimes of one loop iteration, plus diagnostics."""
+
+    chimes: list[Chime]
+    scalar_memory_splits: int = 0
+    masked_scalar_ops: int = 0
+
+    def __len__(self) -> int:
+        return len(self.chimes)
+
+    def vector_instructions(self) -> int:
+        return sum(len(c) for c in self.chimes)
+
+    # ------------------------------------------------------------------
+
+    def total_cycles(
+        self,
+        vl: int = 128,
+        timings: TimingTable | None = None,
+        refresh: bool = True,
+    ) -> float:
+        """Steady-state cycles for one loop iteration's chimes.
+
+        Applies the memory-refresh rule (§3.4): every circular run of
+        :data:`REFRESH_RUN_LENGTH` or more consecutive chimes that each
+        contain a memory operation is scaled by
+        :data:`REFRESH_FACTOR`.
+        """
+        if timings is None:
+            timings = default_timing_table()
+        if not self.chimes:
+            return 0.0
+        costs = [c.cycles(vl, timings) for c in self.chimes]
+        if not refresh:
+            return sum(costs)
+        if all(c.has_memory_op for c in self.chimes):
+            # The loop repeats, so the run of memory chimes is unbounded
+            # across iterations: the refresh is always exposed (this is
+            # how the paper reaches 2.09 CPL for LFK3's two chimes).
+            return sum(costs) * REFRESH_FACTOR
+        scaled = list(costs)
+        for start, length in self._circular_memory_runs():
+            if length >= REFRESH_RUN_LENGTH:
+                for offset in range(length):
+                    index = (start + offset) % len(costs)
+                    scaled[index] = costs[index] * REFRESH_FACTOR
+        return sum(scaled)
+
+    def _circular_memory_runs(self) -> list[tuple[int, int]]:
+        """Maximal circular runs of memory-containing chimes."""
+        n = len(self.chimes)
+        flags = [c.has_memory_op for c in self.chimes]
+        if all(flags):
+            return [(0, n)]
+        runs: list[tuple[int, int]] = []
+        index = 0
+        # Start scanning just past a non-memory chime so circular runs
+        # are never cut at the array boundary.
+        first_gap = flags.index(False)
+        position = first_gap + 1
+        for _ in range(n):
+            actual = position % n
+            if flags[actual]:
+                start = actual
+                length = 0
+                while flags[(start + length) % n] and length < n:
+                    length += 1
+                runs.append((start, length))
+                position += length
+            else:
+                position += 1
+        # Deduplicate (the scan can revisit the same run start once).
+        unique: list[tuple[int, int]] = []
+        for run in runs:
+            if run not in unique:
+                unique.append(run)
+        return unique
+
+    def cpl(
+        self,
+        vl: int = 128,
+        timings: TimingTable | None = None,
+        refresh: bool = True,
+    ) -> float:
+        """Bound in cycles per *source* loop iteration."""
+        return self.total_cycles(vl, timings, refresh) / vl
+
+
+def partition_chimes(
+    instructions: Iterable[Instruction],
+    rules: ChimeRules = DEFAULT_RULES,
+) -> ChimePartition:
+    """Partition one loop iteration's instructions into chimes.
+
+    The input is the full instruction sequence of the (compiled) inner
+    loop body, in program order; scalar instructions participate only
+    through the masking/splitting rules.
+    """
+    chimes: list[Chime] = []
+    builder = _ChimeBuilder(rules)
+    splits = 0
+    masked = 0
+
+    def close(split: bool = False) -> None:
+        nonlocal builder
+        if builder.instructions:
+            chimes.append(
+                Chime(builder.instructions, split_by_scalar_memory=split)
+            )
+        builder = _ChimeBuilder(rules)
+
+    for instr in instructions:
+        if not instr.is_vector:
+            if instr.is_scalar_memory:
+                if builder.note_scalar_memory():
+                    splits += 1
+                    close(split=True)
+            else:
+                masked += 1
+            continue
+        if instr.timing_key is None:
+            raise ScheduleError(
+                f"vector instruction {instr} has no timing class"
+            )
+        if builder.instructions and not builder.fits(instr):
+            close()
+        builder.add(instr)
+    close()
+    return ChimePartition(
+        chimes=chimes, scalar_memory_splits=splits, masked_scalar_ops=masked
+    )

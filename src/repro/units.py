@@ -1,0 +1,155 @@
+"""Performance units used throughout the MACS model.
+
+The paper expresses bounds and measurements in three interchangeable
+units:
+
+``CPL``
+    Cycles Per (inner) Loop iteration, where one "iteration" is one trip
+    of the *vectorized* loop, i.e. ``VL`` (usually 128) iterations of the
+    source loop.
+
+``CPF``
+    Cycles Per Floating-point operation.  ``CPF = CPL / F`` where ``F``
+    is the number of floating-point arithmetic operations in one source
+    loop body (paper eq. 2-3, with CPL already normalized per source
+    iteration; see note below).
+
+``MFLOPS``
+    Delivered megaflops, ``clock_MHz / CPF`` (paper eq. 4).  Averages
+    over a workload set use the *harmonic mean*, obtained by averaging
+    CPF arithmetically and converting once.
+
+Note on normalization: the paper's tables report CPL per *vector* loop
+iteration (VL source iterations) in Table 5 and CPF per floating-point
+operation in Table 4; dividing a CPL value by ``F`` in this package
+always means dividing by flops *per VL-element vector iteration divided
+by VL*, i.e. flops per source iteration.  All conversion helpers below
+take ``flops_per_iteration`` = flops in one *source* loop body, and CPL
+means cycles per source iteration unless a function says otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .errors import ModelError
+
+#: Convex C-240 effective system clock period, nanoseconds (paper §2).
+CLOCK_PERIOD_NS = 40.0
+
+#: Convex C-240 clock rate in MHz (1000 / 40 ns).
+CLOCK_MHZ = 1000.0 / CLOCK_PERIOD_NS
+
+#: Hardware maximum vector length (elements per vector register).
+MAX_VL = 128
+
+
+def cpl_to_cpf(cpl: float, flops_per_iteration: float) -> float:
+    """Convert cycles-per-loop-iteration to cycles-per-flop.
+
+    ``flops_per_iteration`` is the number of floating point arithmetic
+    operations (adds + multiplies, including subtracts and divides) in
+    one source loop body — the paper's ``f_a + f_m``.
+    """
+    if flops_per_iteration <= 0:
+        raise ModelError(
+            f"flops_per_iteration must be positive, got {flops_per_iteration}"
+        )
+    return cpl / flops_per_iteration
+
+
+def cpf_to_cpl(cpf: float, flops_per_iteration: float) -> float:
+    """Convert cycles-per-flop back to cycles-per-loop-iteration."""
+    if flops_per_iteration <= 0:
+        raise ModelError(
+            f"flops_per_iteration must be positive, got {flops_per_iteration}"
+        )
+    return cpf * flops_per_iteration
+
+
+def cpf_to_mflops(cpf: float, clock_mhz: float = CLOCK_MHZ) -> float:
+    """Delivered MFLOPS at a given CPF (paper eq. 4 for a single code)."""
+    if cpf <= 0:
+        raise ModelError(f"CPF must be positive, got {cpf}")
+    if clock_mhz <= 0:
+        raise ModelError(f"clock_mhz must be positive, got {clock_mhz}")
+    return clock_mhz / cpf
+
+
+def mflops_to_cpf(mflops: float, clock_mhz: float = CLOCK_MHZ) -> float:
+    """Inverse of :func:`cpf_to_mflops`."""
+    if mflops <= 0:
+        raise ModelError(f"MFLOPS must be positive, got {mflops}")
+    return clock_mhz / mflops
+
+
+def average_cpf(cpfs: Iterable[float]) -> float:
+    """Arithmetic mean of CPF values over a workload set.
+
+    The arithmetic mean of CPF corresponds to the *harmonic mean* of the
+    per-kernel MFLOPS rates, which is the aggregate the paper reports at
+    the bottom of Table 4.
+    """
+    values = list(cpfs)
+    if not values:
+        raise ModelError("cannot average an empty CPF sequence")
+    for v in values:
+        if v <= 0:
+            raise ModelError(f"CPF values must be positive, got {v}")
+    return sum(values) / len(values)
+
+
+def harmonic_mean_mflops(
+    cpfs: Sequence[float], clock_mhz: float = CLOCK_MHZ
+) -> float:
+    """Harmonic-mean MFLOPS over a workload set (paper eq. 4).
+
+    ``HMEAN(MFLOPS) = clock_MHz / mean(CPF)``.
+    """
+    return cpf_to_mflops(average_cpf(cpfs), clock_mhz)
+
+
+def cycles_to_seconds(cycles: float, clock_period_ns: float = CLOCK_PERIOD_NS) -> float:
+    """Convert a cycle count to wall-clock seconds."""
+    if cycles < 0:
+        raise ModelError(f"cycle count must be non-negative, got {cycles}")
+    return cycles * clock_period_ns * 1e-9
+
+
+def seconds_to_cycles(seconds: float, clock_period_ns: float = CLOCK_PERIOD_NS) -> float:
+    """Convert wall-clock seconds to a cycle count."""
+    if seconds < 0:
+        raise ModelError(f"seconds must be non-negative, got {seconds}")
+    return seconds * 1e9 / clock_period_ns
+
+
+def cycles_per_vector_iteration(
+    total_cycles: float, total_source_iterations: int, vl: int = MAX_VL
+) -> float:
+    """Normalize a whole-run cycle count to CPL at a reference VL.
+
+    The paper's Table 5 reports cycles per *vectorized* loop iteration
+    with VL = 128: one vector iteration covers ``vl`` source iterations.
+    ``CPL(vector) = total_cycles * vl / total_source_iterations``.
+    Partial final strips are therefore counted fractionally.
+    """
+    if total_source_iterations <= 0:
+        raise ModelError(
+            f"total_source_iterations must be positive, got {total_source_iterations}"
+        )
+    if vl <= 0:
+        raise ModelError(f"vl must be positive, got {vl}")
+    return total_cycles * vl / total_source_iterations
+
+
+def percent_of_bound(bound: float, measured: float) -> float:
+    """Fraction of measured run time explained by a bound, as a percent.
+
+    The paper's Table 4 columns "% of MA Bnd" etc. are ``bound /
+    measured * 100`` (a bound at 100% fully explains the run time).
+    """
+    if measured <= 0:
+        raise ModelError(f"measured time must be positive, got {measured}")
+    if bound < 0:
+        raise ModelError(f"bound must be non-negative, got {bound}")
+    return 100.0 * bound / measured

@@ -1,0 +1,61 @@
+"""Workloads: the ten case-study Livermore kernels and a loop generator.
+
+Public surface:
+
+* :data:`CASE_STUDY_KERNELS`, :func:`kernel`, :class:`KernelSpec` —
+  the paper's workload set;
+* :func:`run_kernel` / :class:`KernelRun` — compile + simulate +
+  verify;
+* :func:`generate_loop` (in :mod:`~repro.workloads.generator`) —
+  random vectorizable loops for property-based testing.
+"""
+
+from .lfk import (
+    CASE_STUDY_KERNELS,
+    KernelSpec,
+    LFK1,
+    LFK2,
+    LFK3,
+    LFK4,
+    LFK6,
+    LFK7,
+    LFK8,
+    LFK9,
+    LFK10,
+    LFK12,
+    MAWorkload,
+    kernel,
+    kernel_names,
+)
+from .extra import EXCLUDED_KERNELS, LFK5, LFK11
+from .generator import GeneratedLoop, generate_loop
+from .runner import KernelRun, compile_spec, prepare_simulator, run_kernel
+from .stencils import DAXPY, HEAT1D, SDOT_LONG, STENCIL_KERNELS, TRIDIAG_RHS, WAVE1D
+
+__all__ = [
+    "CASE_STUDY_KERNELS",
+    "EXCLUDED_KERNELS",
+    "KernelRun",
+    "KernelSpec",
+    "LFK1",
+    "LFK10",
+    "LFK11",
+    "LFK12",
+    "LFK2",
+    "LFK3",
+    "LFK4",
+    "LFK5",
+    "LFK6",
+    "LFK7",
+    "LFK8",
+    "LFK9",
+    "MAWorkload",
+    "STENCIL_KERNELS",
+    "GeneratedLoop",
+    "compile_spec",
+    "generate_loop",
+    "kernel",
+    "kernel_names",
+    "prepare_simulator",
+    "run_kernel",
+]

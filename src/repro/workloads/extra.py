@@ -1,0 +1,94 @@
+"""The two excluded kernels: LFK 5 and LFK 11.
+
+The paper uses *ten of the first twelve* Livermore kernels; the two it
+skips — LFK5 (tri-diagonal elimination) and LFK11 (first sum) — are
+first-order linear recurrences: each iteration reads the element the
+previous iteration wrote, so no amount of IVDEP makes them legal to
+vectorize.  They are included here as negative examples:
+
+* the dependence analysis must *reject* them (a true recurrence, not
+  an "unknown");
+* the compiler's scalar fallback must still run them correctly;
+* their delivered CPF shows why the paper's vector-performance study
+  left them out (an order of magnitude above the vector kernels).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lfk import KernelSpec, MAWorkload
+
+_LFK5_SOURCE = """
+      DIMENSION X(1001), Y(1001), Z(1001)
+      DO 5 i = 2,n
+    5 X(i) = Z(i)*(Y(i) - X(i-1))
+"""
+
+
+def _lfk5_reference(data, scalars):
+    n = int(scalars["n"])
+    x = data["X"].copy()
+    y, z = data["Y"], data["Z"]
+    for i in range(2, n + 1):
+        x[i - 1] = z[i - 1] * (y[i - 1] - x[i - 2])
+    return {"X": x}
+
+
+LFK5 = KernelSpec(
+    number=5,
+    name="lfk5",
+    title="tri-diagonal elimination, below diagonal (recurrence)",
+    source=_LFK5_SOURCE,
+    ivdep=False,
+    flops_per_iteration=2,
+    inner_iterations=1000,
+    trip_profile=(1000,),
+    ma=MAWorkload(f_add=1, f_mul=1, loads=2, stores=1),
+    scalar_inputs={"n": 1001},
+    array_seeds={"X": 30, "Y": 31, "Z": 32},
+    reference=_lfk5_reference,
+    output_arrays=("X",),
+    notes=(
+        "True first-order recurrence: excluded from the paper's "
+        "case study; runs through the scalar fallback here."
+    ),
+)
+
+_LFK11_SOURCE = """
+      DIMENSION X(1001), Y(1001)
+      X(1) = Y(1)
+      DO 11 k = 2,n
+   11 X(k) = X(k-1) + Y(k)
+"""
+
+
+def _lfk11_reference(data, scalars):
+    n = int(scalars["n"])
+    x = data["X"].copy()
+    x[:n] = np.cumsum(data["Y"][:n])
+    return {"X": x}
+
+
+LFK11 = KernelSpec(
+    number=11,
+    name="lfk11",
+    title="first sum (prefix-sum recurrence)",
+    source=_LFK11_SOURCE,
+    ivdep=False,
+    flops_per_iteration=1,
+    inner_iterations=1000,
+    trip_profile=(1000,),
+    ma=MAWorkload(f_add=1, f_mul=0, loads=1, stores=1),
+    scalar_inputs={"n": 1001},
+    array_seeds={"X": 33, "Y": 34},
+    reference=_lfk11_reference,
+    output_arrays=("X",),
+    notes=(
+        "Prefix sum: the canonical non-vectorizable loop on a machine "
+        "without scan hardware; excluded from the paper's case study."
+    ),
+)
+
+#: Kernels the paper excluded, usable as negative examples.
+EXCLUDED_KERNELS: tuple[KernelSpec, ...] = (LFK5, LFK11)

@@ -1,0 +1,211 @@
+"""Synthetic vectorizable-loop generator for property-based testing.
+
+Generates random single-statement (or reduction) inner loops in the
+mini-Fortran dialect together with a NumPy reference evaluator, so
+hypothesis can check the whole stack — parser, vectorizer, register
+allocator, code generator, and simulator semantics — against an
+independent interpretation of the same AST.
+
+The generator is deterministic given a :class:`random.Random` (or a
+seed), and bounded: expression depth, array count, and offsets are
+capped so generated kernels always fit the compiler's register and
+scratch budgets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..lang.ast import ArrayRef, BinOp, Const, Expr, UnaryOp, VarRef
+
+#: Names usable for generated arrays (real by implicit typing).
+_ARRAY_NAMES = ("A", "B", "C", "D")
+#: Names usable for generated scalar constants (real).
+_SCALAR_NAMES = ("Q", "R", "T", "S")
+#: Maximum |offset| in generated index expressions ``k + c``.
+_MAX_OFFSET = 4
+
+
+@dataclass(frozen=True)
+class GeneratedLoop:
+    """A synthetic kernel: source text plus reference semantics."""
+
+    source: str
+    n: int
+    arrays: tuple[str, ...]
+    scalars: dict[str, float]
+    output_array: str | None  # None for reductions
+    is_reduction: bool
+    expr: Expr
+
+    def make_data(self, rng: random.Random) -> dict[str, np.ndarray]:
+        size = self.n + 2 * _MAX_OFFSET + 2
+        data = {}
+        for name in self.arrays:
+            values = np.array(
+                [0.2 + 0.6 * rng.random() for _ in range(size)]
+            )
+            data[name] = values
+        return data
+
+    def reference(
+        self, data: dict[str, np.ndarray]
+    ) -> np.ndarray | float:
+        """Evaluate the loop with NumPy (whole-vector semantics)."""
+        k = np.arange(1, self.n + 1)
+        value = _evaluate(self.expr, data, self.scalars, k)
+        if self.is_reduction:
+            return float(np.sum(value))
+        return np.asarray(value) + 0.0 * k  # broadcast scalars
+
+
+def _evaluate(expr: Expr, data, scalars, k: np.ndarray):
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, VarRef):
+        if expr.name == "k":
+            raise WorkloadError("loop counter used as a value")
+        return scalars[expr.name]
+    if isinstance(expr, ArrayRef):
+        index = expr.indices[0]
+        offset = 0
+        if isinstance(index, BinOp):
+            assert isinstance(index.right, Const)
+            offset = int(index.right.value)
+            if index.op == "-":
+                offset = -offset
+        # The source index is 1-based ``k + offset``.
+        return data[expr.name][k - 1 + offset]
+    if isinstance(expr, UnaryOp):
+        return -_evaluate(expr.operand, data, scalars, k)
+    assert isinstance(expr, BinOp)
+    left = _evaluate(expr.left, data, scalars, k)
+    right = _evaluate(expr.right, data, scalars, k)
+    if expr.op == "+":
+        return left + right
+    if expr.op == "-":
+        return left - right
+    if expr.op == "*":
+        return left * right
+    return left / right
+
+
+def _random_index(rng: random.Random) -> Expr:
+    """Index ``k + (pad + offset)`` — always >= 1 for k >= 1."""
+    offset = rng.randint(-_MAX_OFFSET, _MAX_OFFSET)
+    shifted = _MAX_OFFSET + offset
+    k = VarRef("k")
+    if shifted == 0:
+        return k
+    return BinOp("+", k, Const(float(shifted), is_integer=True))
+
+
+def _random_expr(
+    rng: random.Random,
+    arrays: tuple[str, ...],
+    scalars: tuple[str, ...],
+    depth: int,
+) -> Expr:
+    """A random expression that is guaranteed vector-valued."""
+    if depth <= 0:
+        return ArrayRef(arrays[rng.randrange(len(arrays))],
+                        (_random_index(rng),))
+    choice = rng.random()
+    if choice < 0.25:
+        return ArrayRef(arrays[rng.randrange(len(arrays))],
+                        (_random_index(rng),))
+    op = rng.choice(["+", "-", "*", "*", "+"])  # bias to safe ops
+    left = _random_expr(rng, arrays, scalars, depth - 1)
+    if rng.random() < 0.3 and scalars:
+        right: Expr = VarRef(rng.choice(scalars))
+    elif rng.random() < 0.15:
+        right = Const(round(0.1 + rng.random(), 3), is_integer=False)
+    else:
+        right = _random_expr(rng, arrays, scalars, depth - 1)
+    if rng.random() < 0.5:
+        left, right = right, left
+    expr = BinOp(op, left, right)
+    # Keep at least one vector operand (swap may have made both scalar
+    # impossible: left or right is always vector by construction).
+    return expr
+
+
+def _render_expr(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        if expr.is_integer:
+            return str(int(expr.value))
+        return repr(expr.value)
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        inner = ",".join(_render_expr(i) for i in expr.indices)
+        return f"{expr.name}({inner})"
+    if isinstance(expr, UnaryOp):
+        return f"(-{_render_expr(expr.operand)})"
+    assert isinstance(expr, BinOp)
+    return (
+        f"({_render_expr(expr.left)} {expr.op} "
+        f"{_render_expr(expr.right)})"
+    )
+
+
+def generate_loop(
+    seed: int | random.Random,
+    max_depth: int = 3,
+    n: int | None = None,
+    allow_reduction: bool = True,
+) -> GeneratedLoop:
+    """Generate one random vectorizable loop."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    if n is None:
+        n = rng.choice([7, 64, 128, 200, 300])
+    array_count = rng.randint(1, len(_ARRAY_NAMES) - 1)
+    arrays = _ARRAY_NAMES[:array_count]
+    scalar_count = rng.randint(0, 2)
+    scalar_names = _SCALAR_NAMES[:scalar_count]
+    scalars = {
+        name: round(0.2 + rng.random(), 3) for name in scalar_names
+    }
+    depth = rng.randint(1, max_depth)
+    expr = _random_expr(rng, arrays, tuple(scalar_names), depth)
+    # Keep only the scalar parameters the expression actually reads.
+    from ..lang.ast import scalar_reads
+
+    used = scalar_reads(expr) - {"k"}
+    scalars = {name: value for name, value in scalars.items()
+               if name in used}
+
+    size = n + 2 * _MAX_OFFSET + 2
+    dims = ", ".join(f"{name}({size})" for name in _ARRAY_NAMES[
+        : array_count + 1
+    ])
+    is_reduction = allow_reduction and rng.random() < 0.25
+    output = _ARRAY_NAMES[array_count]  # a fresh array, never read
+
+    lines = [f"      DIMENSION {dims}"]
+    if is_reduction:
+        lines.append("      ACC = 0.0")
+        lines.append("      DO 1 k = 1,n")
+        lines.append(f"    1 ACC = ACC + {_render_expr(expr)}")
+        output_array = None
+    else:
+        lines.append("      DO 1 k = 1,n")
+        # Store shifted by the pad so negative offsets stay in bounds.
+        lines.append(
+            f"    1 {output}(k+{_MAX_OFFSET}) = {_render_expr(expr)}"
+        )
+        output_array = output
+    source = "\n".join(lines) + "\n"
+    return GeneratedLoop(
+        source=source,
+        n=n,
+        arrays=arrays,
+        scalars=scalars,
+        output_array=output_array,
+        is_reduction=is_reduction,
+        expr=expr,
+    )

@@ -1,0 +1,153 @@
+"""Kernel execution harness.
+
+Compiles a :class:`~repro.workloads.lfk.KernelSpec`, loads its input
+data and scalar parameters into a simulator, runs it, and normalizes
+the cycle count to the paper's units (CPL per vectorized-loop iteration
+at VL = 128, and CPF).  Also verifies the outputs against the kernel's
+NumPy reference when the compilation is functionally exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compiler import CompiledKernel, CompilerOptions, DEFAULT_OPTIONS, compile_kernel
+from ..errors import WorkloadError
+from ..machine import DEFAULT_CONFIG, MachineConfig, SimulationResult, Simulator
+from ..units import MAX_VL, cycles_per_vector_iteration
+from .lfk import KernelSpec, kernel
+
+
+def compile_spec(
+    spec: KernelSpec, options: CompilerOptions = DEFAULT_OPTIONS
+) -> CompiledKernel:
+    """Compile a kernel spec with its required IVDEP setting."""
+    return compile_kernel(
+        spec.source, spec.name, options.replace(ivdep=spec.ivdep)
+    )
+
+
+@dataclass
+class KernelRun:
+    """One simulated execution of a kernel."""
+
+    spec: KernelSpec
+    compiled: CompiledKernel
+    result: SimulationResult
+    outputs: dict[str, np.ndarray | float] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> float:
+        return self.result.cycles
+
+    def cpl(self) -> float:
+        """Cycles per source inner-loop iteration (the paper's CPL)."""
+        return self.result.cycles / self.spec.inner_iterations
+
+    def cycles_per_vector_iteration(self) -> float:
+        """Cycles per 128-element vectorized iteration (CPL * VL)."""
+        return cycles_per_vector_iteration(
+            self.result.cycles, self.spec.inner_iterations, MAX_VL
+        )
+
+    def cpf(self) -> float:
+        """Cycles per source floating-point operation."""
+        return self.result.cycles / self.spec.total_flops
+
+    def verify(self, rtol: float = 1e-9, atol: float = 1e-12) -> None:
+        """Compare outputs against the NumPy reference.
+
+        Raises :class:`WorkloadError` on mismatch.  Skipped (with an
+        error) when the compilation is not functionally exact (e.g. the
+        shifted-reuse ablation).
+        """
+        if not self.compiled.functionally_exact:
+            raise WorkloadError(
+                f"{self.spec.name}: compiled with performance-only "
+                "transformations; outputs are not comparable"
+            )
+        data = _input_data(self.spec, self.compiled)
+        expected = self.spec.reference(
+            data, dict(self.spec.scalar_inputs)
+        )
+        for name, value in expected.items():
+            actual = self.outputs[name]
+            if np.isscalar(value) or np.ndim(value) == 0:
+                if not np.isclose(actual, value, rtol=rtol, atol=atol):
+                    raise WorkloadError(
+                        f"{self.spec.name}: scalar {name}: "
+                        f"expected {value}, got {actual}"
+                    )
+            else:
+                mismatch = ~np.isclose(actual, value, rtol=rtol, atol=atol)
+                if mismatch.any():
+                    index = int(np.argmax(mismatch))
+                    raise WorkloadError(
+                        f"{self.spec.name}: array {name}: "
+                        f"{int(mismatch.sum())} elements differ; first at "
+                        f"[{index}]: expected {value[index]}, got "
+                        f"{actual[index]}"
+                    )
+
+
+def _input_data(
+    spec: KernelSpec, compiled: CompiledKernel
+) -> dict[str, np.ndarray]:
+    shapes = {
+        info.name: info.size_words
+        for info in compiled.table.arrays.values()
+    }
+    return spec.make_data(shapes)
+
+
+def prepare_simulator(
+    spec: KernelSpec,
+    compiled: CompiledKernel,
+    config: MachineConfig = DEFAULT_CONFIG,
+    program=None,
+) -> Simulator:
+    """A simulator loaded with a kernel's data, optionally running a
+    transformed variant of its program (A/X measurement codes)."""
+    sim = Simulator(
+        compiled.program if program is None else program, config
+    )
+    data = compiled.initial_data(_input_data(spec, compiled))
+    for name, values in data.items():
+        sim.load_symbol(name, values)
+    for name, value in spec.scalar_inputs.items():
+        sim.memory.load_array(
+            compiled.scalar_word_offset(name), np.asarray([float(value)])
+        )
+    return sim
+
+
+def run_kernel(
+    spec_or_name: KernelSpec | str | int,
+    options: CompilerOptions = DEFAULT_OPTIONS,
+    config: MachineConfig = DEFAULT_CONFIG,
+    compiled: CompiledKernel | None = None,
+    verify: bool = False,
+) -> KernelRun:
+    """Compile (or reuse), load, and run one kernel on the simulator."""
+    spec = (
+        spec_or_name
+        if isinstance(spec_or_name, KernelSpec)
+        else kernel(spec_or_name)
+    )
+    if compiled is None:
+        compiled = compile_spec(spec, options)
+    sim = prepare_simulator(spec, compiled, config)
+    result = sim.run()
+    outputs: dict[str, np.ndarray | float] = {}
+    for name in spec.output_arrays:
+        outputs[name] = sim.dump_symbol(name)
+    for name in spec.output_scalars:
+        offset = compiled.scalar_word_offset(name)
+        outputs[name] = float(sim.memory.dump_array(offset, 1)[0])
+    run = KernelRun(spec=spec, compiled=compiled, result=result,
+                    outputs=outputs)
+    if verify:
+        run.verify()
+    return run

@@ -1,0 +1,198 @@
+"""A second workload family: classic stencil/BLAS-style loops.
+
+The paper's conclusion claims the MACS approach "can be generalized
+... to assess a broad range of machines and scientific applications".
+This module provides a small family beyond the Livermore set — the
+loops a C-240 user of the era would actually have run — so the tests
+and examples can exercise the whole methodology on code the models
+were not tuned against:
+
+* ``heat1d`` — explicit 1-D heat step (3-point stencil);
+* ``wave1d`` — 1-D wave equation leapfrog step (two state arrays);
+* ``daxpy`` — the BLAS-1 update ``Y = Y + alpha*X``;
+* ``tridiag_rhs`` — banded matrix-vector style combination
+  (3 streams x coefficients, the memory-saturated extreme);
+* ``sdot_long`` — a long dot product (reduction at scale).
+
+Each is a full :class:`~repro.workloads.lfk.KernelSpec`, so everything
+that works on the LFKs (hierarchy, A/X, extended MACS, the advisor)
+works on these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .lfk import KernelSpec, MAWorkload
+
+_N = 1000
+
+_HEAT1D_SOURCE = """
+      DIMENSION U(1026), UN(1026)
+      DO 1 k = 2,n
+    1 UN(k) = U(k) + C*(U(k+1) - 2.0*U(k) + U(k-1))
+"""
+
+
+def _heat1d_reference(data, scalars):
+    n = int(scalars["n"])
+    c = scalars["C"]
+    u = data["U"]
+    un = data["UN"].copy()
+    k = np.arange(2, n + 1)
+    un[k - 1] = u[k - 1] + c * (u[k] - 2.0 * u[k - 1] + u[k - 2])
+    return {"UN": un}
+
+
+HEAT1D = KernelSpec(
+    number=101,
+    name="heat1d",
+    title="explicit 1-D heat step (3-point stencil)",
+    source=_HEAT1D_SOURCE,
+    ivdep=False,
+    flops_per_iteration=5,  # 3 adds/subs + 2 muls
+    inner_iterations=_N - 1,
+    trip_profile=(_N - 1,),
+    # Perfect reuse: one U stream (k-1, k, k+1 shifted) + one store.
+    ma=MAWorkload(f_add=3, f_mul=2, loads=1, stores=1),
+    scalar_inputs={"n": _N, "C": 0.125},
+    array_seeds={"U": 40, "UN": 41},
+    reference=_heat1d_reference,
+    output_arrays=("UN",),
+)
+
+_WAVE1D_SOURCE = """
+      DIMENSION U(1026), UP(1026), UN(1026)
+      DO 1 k = 2,n
+    1 UN(k) = 2.0*U(k) - UP(k) + C*(U(k+1) - 2.0*U(k) + U(k-1))
+"""
+
+
+def _wave1d_reference(data, scalars):
+    n = int(scalars["n"])
+    c = scalars["C"]
+    u, up = data["U"], data["UP"]
+    un = data["UN"].copy()
+    k = np.arange(2, n + 1)
+    un[k - 1] = (
+        2.0 * u[k - 1] - up[k - 1]
+        + c * (u[k] - 2.0 * u[k - 1] + u[k - 2])
+    )
+    return {"UN": un}
+
+
+WAVE1D = KernelSpec(
+    number=102,
+    name="wave1d",
+    title="1-D wave equation leapfrog step",
+    source=_WAVE1D_SOURCE,
+    ivdep=False,
+    flops_per_iteration=7,  # 4 adds/subs + 3 muls
+    inner_iterations=_N - 1,
+    trip_profile=(_N - 1,),
+    ma=MAWorkload(f_add=4, f_mul=3, loads=2, stores=1),
+    scalar_inputs={"n": _N, "C": 0.25},
+    array_seeds={"U": 42, "UP": 43, "UN": 44},
+    reference=_wave1d_reference,
+    output_arrays=("UN",),
+)
+
+_DAXPY_SOURCE = """
+      DIMENSION X(1001), Y(1001)
+      DO 1 k = 1,n
+    1 Y(k) = Y(k) + A*X(k)
+"""
+
+
+def _daxpy_reference(data, scalars):
+    n = int(scalars["n"])
+    a = scalars["A"]
+    y = data["Y"].copy()
+    y[:n] = y[:n] + a * data["X"][:n]
+    return {"Y": y}
+
+
+DAXPY = KernelSpec(
+    number=103,
+    name="daxpy",
+    title="BLAS-1 daxpy (Y = Y + a*X)",
+    source=_DAXPY_SOURCE,
+    ivdep=False,
+    flops_per_iteration=2,
+    inner_iterations=_N,
+    trip_profile=(_N,),
+    ma=MAWorkload(f_add=1, f_mul=1, loads=2, stores=1),
+    scalar_inputs={"n": _N, "A": 0.7},
+    array_seeds={"X": 45, "Y": 46},
+    reference=_daxpy_reference,
+    output_arrays=("Y",),
+)
+
+_TRIDIAG_RHS_SOURCE = """
+      DIMENSION DL(1001), D(1001), DU(1001), X(1002), R(1001)
+      DO 1 k = 2,n
+    1 R(k) = DL(k)*X(k-1) + D(k)*X(k) + DU(k)*X(k+1)
+"""
+
+
+def _tridiag_rhs_reference(data, scalars):
+    n = int(scalars["n"])
+    dl, d, du, x = data["DL"], data["D"], data["DU"], data["X"]
+    r = data["R"].copy()
+    k = np.arange(2, n + 1)
+    r[k - 1] = (
+        dl[k - 1] * x[k - 2] + d[k - 1] * x[k - 1] + du[k - 1] * x[k]
+    )
+    return {"R": r}
+
+
+TRIDIAG_RHS = KernelSpec(
+    number=104,
+    name="tridiag_rhs",
+    title="tri-diagonal matrix-vector product (memory saturated)",
+    source=_TRIDIAG_RHS_SOURCE,
+    ivdep=False,
+    flops_per_iteration=5,  # 2 adds + 3 muls
+    inner_iterations=_N - 1,
+    trip_profile=(_N - 1,),
+    # DL, D, DU and one X stream (three shifted refs) + store.
+    ma=MAWorkload(f_add=2, f_mul=3, loads=4, stores=1),
+    scalar_inputs={"n": _N},
+    array_seeds={"DL": 47, "D": 48, "DU": 49, "X": 50, "R": 51},
+    reference=_tridiag_rhs_reference,
+    output_arrays=("R",),
+)
+
+_SDOT_SOURCE = """
+      DIMENSION X(1001), Y(1001)
+      S = 0.0
+      DO 1 k = 1,n
+    1 S = S + X(k)*Y(k)
+"""
+
+
+def _sdot_reference(data, scalars):
+    n = int(scalars["n"])
+    return {"S": float(np.dot(data["X"][:n], data["Y"][:n]))}
+
+
+SDOT_LONG = KernelSpec(
+    number=105,
+    name="sdot_long",
+    title="long dot product (partial-sums reduction)",
+    source=_SDOT_SOURCE,
+    ivdep=False,
+    flops_per_iteration=2,
+    inner_iterations=_N,
+    trip_profile=(_N,),
+    ma=MAWorkload(f_add=1, f_mul=1, loads=2, stores=0),
+    scalar_inputs={"n": _N},
+    array_seeds={"X": 52, "Y": 53},
+    reference=_sdot_reference,
+    output_scalars=("S",),
+)
+
+#: The generalization family, beyond the paper's case study.
+STENCIL_KERNELS: tuple[KernelSpec, ...] = (
+    HEAT1D, WAVE1D, DAXPY, TRIDIAG_RHS, SDOT_LONG,
+)

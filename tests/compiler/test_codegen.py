@@ -1,0 +1,183 @@
+"""Whole-kernel code generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    DEFAULT_OPTIONS,
+    SCALARS_SYMBOL,
+    compile_kernel,
+)
+from repro.errors import CompileError, VectorizationError
+from repro.machine import Simulator
+
+SIMPLE = (
+    "DIMENSION X(300), Y(310)\n"
+    "DO 1 k = 1,n\n"
+    "1 X(k) = Y(k+1) - Y(k)\n"
+)
+
+
+def run_compiled(compiled, arrays, scalars):
+    sim = Simulator(compiled.program)
+    for name, values in compiled.initial_data(arrays).items():
+        sim.load_symbol(name, values)
+    for name, value in scalars.items():
+        sim.memory.load_array(
+            compiled.scalar_word_offset(name),
+            np.asarray([float(value)]),
+        )
+    result = sim.run()
+    return sim, result
+
+
+class TestStructure:
+    def test_strip_loop_emitted(self):
+        compiled = compile_kernel(SIMPLE, "simple")
+        assert compiled.loops[0].vectorized
+        start, end = compiled.program.innermost_loop()
+        body = compiled.program.loop_slice((start, end))
+        assert body[0].name == "mov.w"  # VL setup
+        assert body[-1].name == "jbrs.t"
+
+    def test_data_regions_allocated(self):
+        compiled = compile_kernel(SIMPLE, "simple")
+        layout = compiled.program.layout
+        assert "X" in layout and "Y" in layout
+        assert SCALARS_SYMBOL in layout
+        assert "VZERO" in layout
+
+    def test_scalar_slots_assigned(self):
+        compiled = compile_kernel(SIMPLE, "simple")
+        assert "n" in compiled.scalar_slots
+        assert compiled.scalar_word_offset("n") >= 0
+
+    def test_unknown_scalar_rejected(self):
+        compiled = compile_kernel(SIMPLE, "simple")
+        with pytest.raises(CompileError):
+            compiled.scalar_word_offset("bogus")
+
+
+class TestExecution:
+    def test_first_difference_values(self):
+        compiled = compile_kernel(SIMPLE, "simple")
+        y = np.linspace(0.0, 1.0, 310)
+        sim, _ = run_compiled(compiled, {"Y": y}, {"n": 300})
+        x = sim.dump_symbol("X", 300)
+        assert np.allclose(x, y[1:301] - y[:300])
+
+    def test_zero_trip_loop_guarded(self):
+        compiled = compile_kernel(SIMPLE, "simple")
+        sim, result = run_compiled(
+            compiled, {"Y": np.ones(310)}, {"n": 0}
+        )
+        assert result.vector_instructions == 0
+
+    def test_single_iteration_loop(self):
+        compiled = compile_kernel(SIMPLE, "simple")
+        y = np.arange(310, dtype=float)
+        sim, _ = run_compiled(compiled, {"Y": y}, {"n": 1})
+        assert sim.dump_symbol("X", 1)[0] == 1.0
+
+    def test_loop_variable_final_value_stored(self):
+        """Fortran: after DO k=1,n the counter holds n+1."""
+        compiled = compile_kernel(SIMPLE, "simple")
+        sim, _ = run_compiled(
+            compiled, {"Y": np.ones(310)}, {"n": 300}
+        )
+        k_final = sim.memory.dump_array(
+            compiled.scalar_word_offset("k"), 1
+        )[0]
+        assert k_final == 301
+
+    def test_induction_final_value_stored(self):
+        source = (
+            "DIMENSION X(500), Y(500)\n"
+            "i = 0\n"
+            "DO 1 k = 2,n,2\n"
+            "i = i + 1\n"
+            "1 X(i) = Y(k)\n"
+        )
+        compiled = compile_kernel(
+            source, "ind", DEFAULT_OPTIONS.replace(ivdep=True)
+        )
+        sim, _ = run_compiled(
+            compiled, {"Y": np.arange(500.0)}, {"n": 100}
+        )
+        i_final = sim.memory.dump_array(
+            compiled.scalar_word_offset("i"), 1
+        )[0]
+        assert i_final == 50
+
+
+class TestScalarFallback:
+    RECURRENCE = (
+        "DIMENSION X(200)\n"
+        "DO 1 k = 2,n\n"
+        "1 X(k) = X(k-1)*0.5 + X(k)\n"
+    )
+
+    def test_fallback_marks_plan(self):
+        compiled = compile_kernel(self.RECURRENCE, "rec")
+        assert not compiled.loops[0].vectorized
+        assert "recurrence" in compiled.loops[0].reason
+
+    def test_fallback_executes_serially_correct(self):
+        compiled = compile_kernel(self.RECURRENCE, "rec")
+        x = np.linspace(1.0, 2.0, 200)
+        sim, result = run_compiled(compiled, {"X": x.copy()}, {"n": 50})
+        expected = x.copy()
+        for k in range(2, 51):
+            expected[k - 1] = expected[k - 2] * 0.5 + expected[k - 1]
+        assert np.allclose(sim.dump_symbol("X", 200), expected)
+        assert result.vector_instructions == 0
+
+    def test_fallback_disabled_raises(self):
+        with pytest.raises(VectorizationError):
+            compile_kernel(
+                self.RECURRENCE, "rec",
+                DEFAULT_OPTIONS.replace(allow_scalar_fallback=False),
+            )
+
+
+class TestGotoControl:
+    HALVING = (
+        "DIMENSION X(400), V(400)\n"
+        "II = n\n"
+        "IPNTP = 0\n"
+        "  222 IPNT = IPNTP\n"
+        "IPNTP = IPNTP + II\n"
+        "II = II/2\n"
+        "i = IPNTP\n"
+        "DO 2 k = IPNT+2, IPNTP, 2\n"
+        "i = i + 1\n"
+        "2 X(i) = X(k) - V(k)*X(k-1) - V(k+1)*X(k+1)\n"
+        "IF (II > 1) GOTO 222\n"
+    )
+
+    def test_goto_loop_terminates(self):
+        compiled = compile_kernel(
+            self.HALVING, "halving",
+            DEFAULT_OPTIONS.replace(ivdep=True),
+        )
+        sim, result = run_compiled(
+            compiled,
+            {"X": np.ones(400), "V": np.full(400, 0.5)},
+            {"n": 40},
+        )
+        assert result.cycles > 0
+
+    def test_literal_constants_loaded(self):
+        source = (
+            "DIMENSION X(200), Y(200)\n"
+            "DO 1 k = 1,n\n"
+            "1 X(k) = Y(k)*0.25 + 1.5\n"
+        )
+        compiled = compile_kernel(source, "lits")
+        assert 0.25 in compiled.literal_values
+        assert 1.5 in compiled.literal_values
+        y = np.arange(200, dtype=float)
+        sim, _ = run_compiled(compiled, {"Y": y}, {"n": 100})
+        assert np.allclose(
+            sim.dump_symbol("X", 100), y[:100] * 0.25 + 1.5
+        )

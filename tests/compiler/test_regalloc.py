@@ -1,0 +1,155 @@
+"""Vector register allocation tests."""
+
+import pytest
+
+from repro.compiler.ir import (
+    ScalarKind,
+    ScalarOperand,
+    Stream,
+    VTemp,
+    VectorLoopIR,
+    VectorOp,
+    VectorOpKind,
+)
+from repro.compiler.regalloc import (
+    NUM_VECTOR_REGS,
+    SPILL_SYMBOL,
+    allocate_registers,
+)
+from repro.errors import RegisterAllocationError
+from repro.lang.analysis import LinearForm
+
+
+def stream(array="A", const=0):
+    return Stream(array=array, stride_words=1,
+                  base=LinearForm(const=const), is_store=False)
+
+
+def load(index):
+    return VectorOp(VectorOpKind.LOAD, (), VTemp(index),
+                    stream=stream(const=index * 128))
+
+
+def add(a, b, out):
+    return VectorOp(VectorOpKind.ADD, (VTemp(a), VTemp(b)), VTemp(out))
+
+
+class TestBasicAllocation:
+    def test_simple_chain(self):
+        ir = VectorLoopIR(ops=[load(0), load(1), add(0, 1, 2)])
+        result = allocate_registers(ir)
+        assert result.spill_slots_used == 0
+        regs = [op.output_reg for op in result.ops]
+        assert regs[0] != regs[1]
+
+    def test_registers_reused_after_death(self):
+        ops = []
+        for i in range(20):  # 20 sequential loads, each dies quickly
+            ops.append(load(i))
+            if i >= 1:
+                ops.append(add(i - 1, i, 100 + i))
+        ir = VectorLoopIR(ops=ops)
+        result = allocate_registers(ir)
+        assert result.spill_slots_used == 0
+
+    def test_in_place_accumulator(self):
+        acc = VTemp(99)
+        ir = VectorLoopIR(
+            ops=[load(0), VectorOp(VectorOpKind.ADD, (acc, VTemp(0)), acc)],
+            pinned={acc},
+        )
+        result = allocate_registers(ir)
+        acc_reg = result.pinned_regs[acc]
+        update = result.ops[-1]
+        assert update.output_reg == acc_reg
+        assert update.input_regs[0] == acc_reg
+
+    def test_pinned_register_never_reused(self):
+        acc = VTemp(99)
+        ops = [load(i) for i in range(10)]
+        ops.append(VectorOp(VectorOpKind.ADD, (acc, VTemp(9)), acc))
+        ir = VectorLoopIR(ops=ops, pinned={acc})
+        result = allocate_registers(ir)
+        acc_reg = result.pinned_regs[acc]
+        for allocated in result.ops[:-1]:
+            assert allocated.output_reg != acc_reg
+
+    def test_scalar_operands_pass_through(self):
+        scalar = ScalarOperand(ScalarKind.VARIABLE, "R")
+        ir = VectorLoopIR(
+            ops=[
+                load(0),
+                VectorOp(VectorOpKind.MUL, (scalar, VTemp(0)), VTemp(1)),
+            ]
+        )
+        result = allocate_registers(ir)
+        assert result.ops[1].input_regs[0] is scalar
+
+    def test_pair_spread(self):
+        """Consecutive definitions land in distinct register pairs."""
+        ir = VectorLoopIR(
+            ops=[load(0), VectorOp(VectorOpKind.MUL,
+                                   (VTemp(0), VTemp(0)), VTemp(1))]
+        )
+        result = allocate_registers(ir)
+        r0 = result.ops[0].output_reg
+        r1 = result.ops[1].output_reg
+        assert r0 % 4 != r1 % 4
+
+
+class TestSpilling:
+    def make_pressure_ir(self, live):
+        """`live` simultaneously-live loads, all consumed at the end."""
+        ops = [load(i) for i in range(live)]
+        out = live
+        previous = 0
+        for i in range(1, live):
+            ops.append(add(previous, i, out))
+            previous = out
+            out += 1
+        return VectorLoopIR(ops=ops)
+
+    def test_no_spill_at_eight(self):
+        result = allocate_registers(self.make_pressure_ir(8))
+        assert result.spill_slots_used == 0
+
+    def test_spill_beyond_eight(self):
+        result = allocate_registers(self.make_pressure_ir(10))
+        assert result.spill_slots_used >= 1
+        assert result.spill_stores >= 1
+        assert result.spill_loads >= 1
+
+    def test_spill_ops_use_spill_symbol(self):
+        result = allocate_registers(self.make_pressure_ir(10))
+        spill_ops = [
+            a for a in result.ops
+            if a.op.stream is not None
+            and a.op.stream.array == SPILL_SYMBOL
+        ]
+        assert spill_ops
+
+    def test_spilled_values_correctly_restored_order(self):
+        """Spill store for a temp precedes its reload."""
+        result = allocate_registers(self.make_pressure_ir(12))
+        seen_stores = set()
+        for allocated in result.ops:
+            s = allocated.op.stream
+            if s is None or s.array != SPILL_SYMBOL:
+                continue
+            slot = s.base.const
+            if allocated.op.kind is VectorOpKind.STORE:
+                seen_stores.add(slot)
+            else:
+                assert slot in seen_stores
+
+    def test_all_pinned_rejected(self):
+        pinned = {VTemp(i) for i in range(NUM_VECTOR_REGS)}
+        ops = [load(100)]
+        ir = VectorLoopIR(ops=ops, pinned=pinned)
+        with pytest.raises(RegisterAllocationError):
+            allocate_registers(ir)
+
+    def test_use_before_definition_rejected(self):
+        ir = VectorLoopIR(ops=[add(0, 1, 2)])
+        with pytest.raises(RegisterAllocationError):
+            allocate_registers(ir)

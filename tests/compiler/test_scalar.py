@@ -1,0 +1,176 @@
+"""Direct tests of the scalar code generator (expression evaluation,
+addressing, compare/branch mapping)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.scalar import (
+    ScalarCompiler,
+    ScalarEnvironment,
+    expression_is_real,
+)
+from repro.errors import CompileError
+from repro.isa import AsmBuilder, Immediate, areg, sreg
+from repro.lang import analyze_program, parse_source
+from repro.machine import Simulator
+
+
+def make_env(source="DIMENSION X(64)\n"):
+    program = parse_source(source)
+    table = analyze_program(program)
+    builder = AsmBuilder("scalar-test")
+    builder.data("X", 64)
+    env = ScalarEnvironment(
+        builder=builder,
+        table=table,
+        a_scratch=(1, 2, 3),
+        s_scratch=(0, 1),
+    )
+    builder.mov(Immediate(0), areg(0))
+    return env, ScalarCompiler(env)
+
+
+def finish_and_run(env, scalars=None):
+    env.builder.data("SCALARS", max(len(env.slots), 1))
+    env.builder.data("LITS", max(len(env.literal_slots), 1))
+    program = env.builder.build()
+    sim = Simulator(program)
+    if env.literal_values():
+        sim.load_symbol("LITS", np.asarray(env.literal_values()))
+    scalars_base = program.layout.lookup("SCALARS").offset_words
+    for name, value in (scalars or {}).items():
+        sim.memory.load_array(
+            scalars_base + env.slot_of(name), np.asarray([float(value)])
+        )
+    sim.run()
+    return sim, scalars_base
+
+
+def expr_of(text):
+    program = parse_source(f"X = {text}")
+    return program.statements[0].expr
+
+
+class TestIntegerEvaluation:
+    def test_constant(self):
+        env, compiler = make_env()
+        compiler.eval_int(expr_of("42"), areg(4))
+        env.builder.sstore(areg(4), env.slot_mem("out"))
+        sim, base = finish_and_run(env)
+        assert sim.memory.dump_array(base + env.slot_of("out"), 1)[0] == 42
+
+    def test_arithmetic_with_variables(self):
+        env, compiler = make_env()
+        compiler.eval_int(expr_of("(n - 7)/2 + m*3"), areg(4))
+        env.builder.sstore(areg(4), env.slot_mem("out"))
+        sim, base = finish_and_run(env, {"n": 1001, "m": 4})
+        assert sim.memory.dump_array(
+            base + env.slot_of("out"), 1
+        )[0] == (1001 - 7) // 2 + 12
+
+    def test_unary_minus(self):
+        env, compiler = make_env()
+        compiler.eval_int(expr_of("-(n + 1)"), areg(4))
+        env.builder.sstore(areg(4), env.slot_mem("out"))
+        sim, base = finish_and_run(env, {"n": 9})
+        assert sim.memory.dump_array(base + env.slot_of("out"), 1)[0] == -10
+
+    def test_scratch_exhaustion_reported(self):
+        env, compiler = make_env()
+        deep = expr_of("((n+1)*(n+2))*((n+3)*(n+4))*((n+5)*(n+6))")
+        with pytest.raises(CompileError):
+            compiler.eval_int(deep, areg(4), scratch=())
+
+
+class TestRealEvaluation:
+    def test_literal_through_lits(self):
+        env, compiler = make_env()
+        compiler.eval_fp(expr_of("0.25"), sreg(2))
+        env.builder.sstore(sreg(2), env.slot_mem("out"))
+        sim, base = finish_and_run(env)
+        assert sim.memory.dump_array(
+            base + env.slot_of("out"), 1
+        )[0] == 0.25
+
+    def test_integer_valued_literal_immediate(self):
+        env, compiler = make_env()
+        compiler.eval_fp(expr_of("3.0"), sreg(2))
+        assert not env.literal_slots  # no LITS slot needed
+        env.builder.sstore(sreg(2), env.slot_mem("out"))
+        sim, base = finish_and_run(env)
+        assert sim.memory.dump_array(base + env.slot_of("out"), 1)[0] == 3.0
+
+    def test_array_element_access(self):
+        env, compiler = make_env()
+        compiler.eval_fp(expr_of("X(k) + X(5)"), sreg(2))
+        env.builder.sstore(sreg(2), env.slot_mem("out"))
+        program_env = env
+        env.builder.data("SCALARS", max(len(env.slots), 1))
+        env.builder.data("LITS", 1)
+        program = env.builder.build()
+        sim = Simulator(program)
+        sim.load_symbol("X", np.arange(64, dtype=float) + 1.0)
+        base = program.layout.lookup("SCALARS").offset_words
+        sim.memory.load_array(
+            base + program_env.slot_of("k"), np.asarray([3.0])
+        )
+        sim.run()
+        # X(3) + X(5) = 3 + 5 (values are index+... data is idx+1: X(3)=3)
+        assert sim.memory.dump_array(
+            base + program_env.slot_of("out"), 1
+        )[0] == 3.0 + 5.0
+
+
+class TestTypeClassification:
+    def test_integer_expression(self):
+        env, _ = make_env()
+        assert not expression_is_real(expr_of("n + 1"), env.table)
+
+    def test_real_by_constant(self):
+        env, _ = make_env()
+        assert expression_is_real(expr_of("n + 1.5"), env.table)
+
+    def test_real_by_variable(self):
+        env, _ = make_env()
+        assert expression_is_real(expr_of("Q"), env.table)
+
+    def test_real_by_array(self):
+        env, _ = make_env()
+        assert expression_is_real(expr_of("X(1)"), env.table)
+
+
+class TestCompareBranch:
+    @pytest.mark.parametrize(
+        "op,lhs,rhs,taken",
+        [
+            (">", 5, 3, True), (">", 3, 5, False),
+            ("<", 3, 5, True), ("<", 5, 3, False),
+            (">=", 5, 5, True), (">=", 4, 5, False),
+            ("<=", 5, 5, True), ("<=", 6, 5, False),
+            ("==", 7, 7, True), ("==", 7, 8, False),
+            ("/=", 7, 8, True), ("/=", 7, 7, False),
+        ],
+    )
+    def test_all_relations(self, op, lhs, rhs, taken):
+        source = (
+            f"      i = 0\n"
+            f"      IF (n {op} m) GOTO 9\n"
+            f"      i = 1\n"
+            f"    9 CONTINUE\n"
+            f"      j = 5\n"
+        )
+        from repro.compiler import compile_kernel
+
+        compiled = compile_kernel(source, "cmp")
+        sim = Simulator(compiled.program)
+        sim.memory.load_array(
+            compiled.scalar_word_offset("n"), np.asarray([float(lhs)])
+        )
+        sim.memory.load_array(
+            compiled.scalar_word_offset("m"), np.asarray([float(rhs)])
+        )
+        sim.run()
+        i_value = sim.memory.dump_array(
+            compiled.scalar_word_offset("i"), 1
+        )[0]
+        assert (i_value == 0) == taken  # skipped "i = 1" iff taken

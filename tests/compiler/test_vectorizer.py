@@ -1,0 +1,164 @@
+"""Vectorizer (AST -> vector IR) tests."""
+
+import pytest
+
+from repro.compiler import (
+    CompilerOptions,
+    DEFAULT_OPTIONS,
+    ReductionStyle,
+    ScalarKind,
+    VectorOpKind,
+    Vectorizer,
+)
+from repro.errors import VectorizationError
+from repro.lang import DoLoop, analyze_loop, analyze_program, parse_source, walk_statements
+from repro.lang.analysis import collect_integer_constants
+
+
+def build_ir(source, options=DEFAULT_OPTIONS, nested=False, ivdep=False):
+    program = parse_source(source)
+    table = analyze_program(program)
+    loops = [
+        s for s in walk_statements(program.statements)
+        if isinstance(s, DoLoop)
+        and not any(isinstance(x, DoLoop) for x in s.body)
+    ]
+    constants = collect_integer_constants(program.statements)
+    analysis = analyze_loop(loops[0], table, ivdep=ivdep,
+                            constants=constants)
+    return Vectorizer(analysis, table, options, nested).build()
+
+
+LFK1_LIKE = (
+    "DIMENSION X(1001), Y(1001), ZX(1023)\n"
+    "DO 1 k = 1,n\n"
+    "1 X(k) = Q + Y(k)*(R*ZX(k+10) + T*ZX(k+11))\n"
+)
+
+
+class TestLowering:
+    def test_lfk1_op_counts(self):
+        ir = build_ir(LFK1_LIKE)
+        assert ir.vector_memory_ops() == 4  # 3 loads + 1 store
+        assert ir.vector_fp_ops() == 5  # 3 muls + 2 adds
+
+    def test_scalar_operands_pooled(self):
+        ir = build_ir(LFK1_LIKE)
+        names = {s.name for s in ir.scalars}
+        assert names == {"Q", "R", "T"}
+        # R used twice but pooled once.
+        assert len(ir.scalars) == 3
+
+    def test_load_cse_for_identical_refs(self):
+        ir = build_ir(
+            "DIMENSION X(100), Y(100)\nDO 1 k = 1,n\n"
+            "1 X(k) = Y(k)*Y(k)\n"
+        )
+        loads = [op for op in ir.ops if op.kind is VectorOpKind.LOAD]
+        assert len(loads) == 1
+
+    def test_shifted_refs_not_merged_by_default(self):
+        ir = build_ir(
+            "DIMENSION X(100), Y(110)\nDO 1 k = 1,n\n"
+            "1 X(k) = Y(k) + Y(k+1)\n"
+        )
+        loads = [op for op in ir.ops if op.kind is VectorOpKind.LOAD]
+        assert len(loads) == 2  # fc reloads shifted streams
+
+    def test_shifted_reuse_option_merges(self):
+        ir = build_ir(
+            "DIMENSION X(100), Y(110)\nDO 1 k = 1,n\n"
+            "1 X(k) = Y(k) + Y(k+1)\n",
+            options=DEFAULT_OPTIONS.replace(reuse_shifted_loads=True),
+        )
+        loads = [op for op in ir.ops if op.kind is VectorOpKind.LOAD]
+        assert len(loads) == 1
+
+    def test_store_forwarding(self):
+        """LFK8 pattern: a load of a just-stored element reuses it."""
+        ir = build_ir(
+            "DIMENSION D(100), X(100), Y(100), Z(100)\n"
+            "DO 1 k = 1,n\n"
+            "D(k) = X(k) - Y(k)\n"
+            "1 Z(k) = D(k)*X(k)\n"
+        )
+        loads = [op for op in ir.ops if op.kind is VectorOpKind.LOAD]
+        assert len(loads) == 2  # X once (CSE), Y once, D forwarded
+
+    def test_local_scalars_become_temps(self):
+        """LFK10's AR/BR/CR chain."""
+        ir = build_ir(
+            "DIMENSION PX(25,101), CX(25,101)\nDO 1 i = 1,n\n"
+            "AR = CX(5,i)\n"
+            "BR = AR - PX(5,i)\n"
+            "PX(5,i) = AR\n"
+            "1 PX(6,i) = BR\n"
+        )
+        stores = [op for op in ir.ops if op.kind is VectorOpKind.STORE]
+        assert len(stores) == 2
+        assert ir.vector_fp_ops() == 1  # only the subtraction
+
+    def test_unary_minus_lowered_as_neg(self):
+        ir = build_ir(
+            "DIMENSION X(100), Y(100)\nDO 1 k = 1,n\n"
+            "1 X(k) = -Y(k)\n"
+        )
+        assert any(op.kind is VectorOpKind.NEG for op in ir.ops)
+
+    def test_heavier_subtree_first(self):
+        """Sethi-Ullman order: ZX subexpression before the Y load."""
+        ir = build_ir(LFK1_LIKE)
+        loads = [op for op in ir.ops if op.kind is VectorOpKind.LOAD]
+        assert loads[0].stream.array == "ZX"
+
+
+class TestReductionPlans:
+    REDUCTION = (
+        "DIMENSION Z(100), X(100)\nQ = 0.0\nDO 3 k = 1,n\n"
+        "3 Q = Q + Z(k)*X(k)\n"
+    )
+
+    def test_top_level_uses_partial_sums(self):
+        ir = build_ir(self.REDUCTION, nested=False)
+        assert ir.reduction.style == "partial-sums"
+        assert ir.reduction.accumulator in ir.pinned
+
+    def test_nested_uses_direct_sum(self):
+        ir = build_ir(self.REDUCTION, nested=True)
+        assert ir.reduction.style == "direct-sum"
+        assert ir.reduction.accumulator is None
+
+    def test_forced_styles(self):
+        forced = DEFAULT_OPTIONS.replace(
+            reduction_style=ReductionStyle.DIRECT_SUM
+        )
+        assert build_ir(self.REDUCTION, options=forced).reduction.style \
+            == "direct-sum"
+        forced = DEFAULT_OPTIONS.replace(
+            reduction_style=ReductionStyle.PARTIAL_SUMS
+        )
+        assert build_ir(
+            self.REDUCTION, options=forced, nested=True
+        ).reduction.style == "partial-sums"
+
+
+class TestRejections:
+    def test_non_vectorizable_analysis_rejected(self):
+        with pytest.raises(VectorizationError):
+            build_ir(
+                "DIMENSION X(100)\nDO 1 k = 2,n\n1 X(k) = X(k-1)\n"
+            )
+
+    def test_scalar_recurrence_rejected(self):
+        with pytest.raises(VectorizationError):
+            build_ir(
+                "DIMENSION X(100)\nDO 1 k = 1,n\n"
+                "acc = acc*2.0\n"
+                "1 X(k) = acc\n"
+            )
+
+    def test_invariant_store_rejected(self):
+        with pytest.raises(VectorizationError):
+            build_ir(
+                "DIMENSION X(100)\nDO 1 k = 1,n\n1 X(k) = Q\n"
+            )

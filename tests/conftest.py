@@ -1,0 +1,48 @@
+"""Shared fixtures: compiled kernels and workload analyses are cached
+per session — compilation and analysis are deterministic, so every test
+can share them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import analyze_kernel
+from repro.workloads import CASE_STUDY_KERNELS, compile_spec, kernel, run_kernel
+
+
+@pytest.fixture(scope="session")
+def compiled_kernels():
+    """name -> CompiledKernel for all ten case-study kernels."""
+    return {
+        spec.name: compile_spec(spec) for spec in CASE_STUDY_KERNELS
+    }
+
+
+@pytest.fixture(scope="session")
+def kernel_runs(compiled_kernels):
+    """name -> KernelRun (verified) for all ten kernels."""
+    runs = {}
+    for spec in CASE_STUDY_KERNELS:
+        runs[spec.name] = run_kernel(
+            spec, compiled=compiled_kernels[spec.name], verify=True
+        )
+    return runs
+
+
+@pytest.fixture(scope="session")
+def workload_analyses(compiled_kernels):
+    """name -> KernelAnalysis (with measurements) for all ten kernels."""
+    return {
+        spec.name: analyze_kernel(spec)
+        for spec in CASE_STUDY_KERNELS
+    }
+
+
+@pytest.fixture(scope="session")
+def lfk1_compiled(compiled_kernels):
+    return compiled_kernels["lfk1"]
+
+
+@pytest.fixture(scope="session")
+def lfk1_analysis(workload_analyses):
+    return workload_analyses["lfk1"]

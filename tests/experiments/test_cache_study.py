@@ -1,0 +1,23 @@
+"""Cache-study experiment tests."""
+
+from repro.experiments import run_cache_study
+
+
+class TestCacheStudy:
+    def test_shape(self):
+        result = run_cache_study()
+        rows = {r["kernel"]: r for r in result.data["rows"]}
+        # Scalar-heavy kernels benefit...
+        assert rows[2]["change_percent"] < -3.0
+        assert rows[6]["change_percent"] < -3.0
+        # ...vector-dominated kernels are essentially flat.
+        for kernel in (1, 7, 9, 10, 12):
+            assert abs(rows[kernel]["change_percent"]) < 2.0
+
+    def test_hit_rates_sane(self):
+        result = run_cache_study()
+        for row in result.data["rows"]:
+            assert 0.0 <= row["hit_rate"] <= 1.0
+            if row["accesses"] > 20:
+                # Loop-resident scalars hit after first touch.
+                assert row["hit_rate"] > 0.8

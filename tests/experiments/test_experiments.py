@@ -1,0 +1,192 @@
+"""Experiment-harness tests: every paper artifact regenerates and its
+headline numbers land in the right place."""
+
+import pytest
+
+from repro import paperdata
+from repro.experiments import (
+    EXPERIMENTS,
+    run_ablation_bubbles,
+    run_ablation_pairs,
+    run_ablation_refresh,
+    run_ablation_reuse,
+    run_ablation_scalar_splits,
+    run_contention,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_walkthrough,
+)
+from repro.experiments.formatting import ExperimentResult, TextTable
+
+
+class TestFormatting:
+    def test_table_renders_aligned(self):
+        table = TextTable(["a", "long-header"])
+        table.add_row(1, 2.5)
+        table.add_row("x", "y")
+        text = table.render()
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1
+
+    def test_row_arity_checked(self):
+        from repro.errors import ExperimentError
+
+        table = TextTable(["a", "b"])
+        with pytest.raises(ExperimentError):
+            table.add_row(1)
+
+    def test_result_render(self):
+        result = ExperimentResult("Table 9", "title", "body",
+                                  notes=["n1"])
+        text = result.render()
+        assert "Table 9" in text and "n1" in text
+
+
+class TestTable1:
+    def test_calibration_matches(self):
+        result = run_table1()
+        assert result.data["max_z_error"] <= 0.05
+        assert result.data["max_b_error"] <= 1.0
+
+
+class TestTable2:
+    def test_ma_counts_match_specs(self):
+        result = run_table2()
+        assert result.data["mismatches"] == []
+
+    def test_compiler_deltas_present(self):
+        body = run_table2().body
+        # LFK1's reloaded ZX stream shows as l'=3.
+        assert "3" in body
+
+
+class TestTable3:
+    def test_macs_never_below_mac(self):
+        result = run_table3()
+        for analysis in result.data["analyses"]:
+            assert analysis.macs.cpl >= analysis.mac.cpl - 1e-9
+
+    def test_dominant_markers_rendered(self):
+        assert "*" in run_table3().body
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table4()
+
+    def test_hmeans_close_to_paper(self, result):
+        for level, paper_value in paperdata.PAPER_HMEAN_MFLOPS.items():
+            assert result.data["hmeans"][level] == pytest.approx(
+                paper_value, rel=0.10
+            )
+
+    def test_averages_ordered(self, result):
+        averages = result.data["averages"]
+        assert averages["ma"] <= averages["mac"] <= averages["macs"] \
+            <= averages["actual"]
+
+
+class TestTable5:
+    def test_eq18_holds(self):
+        result = run_table5()
+        for analysis in result.data["analyses"]:
+            ax = analysis.ax
+            assert analysis.t_p_cpl >= ax.overlap_lower_bound() - 1e-9
+
+
+class TestFigures:
+    def test_figure1_static(self):
+        assert "t_MA" in run_figure1().body
+
+    def test_figure2_paper_numbers(self):
+        result = run_figure2()
+        assert result.data["unchained_cycles"] == \
+            paperdata.PAPER_FIG2_UNCHAINED
+        assert result.data["first_chime_cycles"] == \
+            paperdata.PAPER_FIG2_CHAINED_WITH_BUBBLES
+        assert 128.0 <= result.data["steady_chime_cycles"] <= 134.0
+
+    def test_figure3_degradation_band(self):
+        result = run_figure3()
+        for row in result.data["series"]:
+            assert row["multi"] > row["single"]
+            assert 5.0 < row["degradation_percent"] < 60.0
+
+
+class TestContention:
+    def test_rules_of_thumb(self):
+        result = run_contention()
+        rows = result.data["rows"]
+        idle = [r for r in rows if r["mix"] == "idle"]
+        assert all(r["degradation_percent"] == pytest.approx(0.0)
+                   for r in idle)
+        lockstep = [r for r in rows if r["mix"] == "same-executable"]
+        assert all(3.0 < r["degradation_percent"] < 15.0
+                   for r in lockstep)
+
+
+class TestWalkthrough:
+    def test_paper_numbers(self):
+        result = run_walkthrough()
+        assert sorted(result.data["chime_cycles"]) == sorted(
+            paperdata.PAPER_LFK1_CHIMES
+        )
+        assert result.data["total"] == paperdata.PAPER_LFK1_TOTAL
+        assert result.data["with_refresh"] == pytest.approx(
+            paperdata.PAPER_LFK1_WITH_REFRESH
+        )
+        assert result.data["t_macs_cpl"] == pytest.approx(
+            paperdata.PAPER_LFK1_T_MACS_CPL, abs=0.001
+        )
+
+
+class TestAblations:
+    def test_bubbles_reduce_bound(self):
+        for row in run_ablation_bubbles().data["rows"]:
+            assert row.ablated < row.baseline
+
+    def test_refresh_reduces_measured(self):
+        for row in run_ablation_refresh().data["rows"]:
+            assert row.ablated <= row.baseline
+
+    def test_reuse_collapses_compiler_gap(self):
+        rows = {r.kernel: r for r in run_ablation_reuse().data["rows"]}
+        # LFK 1, 7, 12: the shifted-reload kernels improve.
+        for kernel in (1, 7, 12):
+            assert rows[kernel].ablated < rows[kernel].baseline
+        # LFK 9 had no reloads: unchanged.
+        assert rows[9].ablated == pytest.approx(rows[9].baseline)
+
+    def test_pair_rule_relaxation_never_hurts(self):
+        for row in run_ablation_pairs().data["rows"]:
+            assert row.ablated <= row.baseline + 1e-9
+
+    def test_scalar_split_relaxation_helps_lfk8(self):
+        rows = {
+            r.kernel: r
+            for r in run_ablation_scalar_splits().data["rows"]
+        }
+        assert rows[8].ablated < rows[8].baseline
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5",
+            "figure1", "figure2", "figure3", "walkthrough",
+            "contention",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_every_experiment_renders(self):
+        # figure1 and walkthrough are cheap; the rest are covered above.
+        for name in ("figure1", "walkthrough"):
+            text = EXPERIMENTS[name]().render()
+            assert text.startswith("==")

@@ -1,0 +1,78 @@
+"""SVG figure rendering tests."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.svg import (
+    SvgCanvas,
+    figure2_svg,
+    figure3_svg,
+    write_figure2_svg,
+    write_figure3_svg,
+)
+
+
+class TestCanvas:
+    def test_render_is_wellformed_xml(self):
+        canvas = SvgCanvas(100, 50)
+        canvas.rect(1, 2, 10, 20, "#fff", title="a <b> & c")
+        canvas.line(0, 0, 100, 50)
+        canvas.text(5, 5, "label & <escape>")
+        xml.dom.minidom.parseString(canvas.render())
+
+    def test_negative_rect_rejected(self):
+        canvas = SvgCanvas(10, 10)
+        with pytest.raises(ExperimentError):
+            canvas.rect(0, 0, -1, 5, "#000")
+
+
+class TestFigure3Svg:
+    SERIES = [
+        {"kernel": 1, "ma": 0.6, "mac": 0.8, "macs": 0.84,
+         "single": 0.85, "multi": 1.26},
+        {"kernel": 12, "ma": 2.0, "mac": 3.0, "macs": 3.13,
+         "single": 3.16, "multi": 4.73},
+    ]
+
+    def test_renders(self):
+        document = figure3_svg(self.SERIES)
+        xml.dom.minidom.parseString(document)
+        assert document.count("<rect") >= 2 * 5  # bars per kernel
+        assert "LFK12" in document
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ExperimentError):
+            figure3_svg([])
+
+    def test_file_writer(self, tmp_path):
+        path = write_figure3_svg(str(tmp_path / "f3.svg"))
+        xml.dom.minidom.parse(path)
+
+
+class TestFigure2Svg:
+    def test_file_writer(self, tmp_path):
+        path = write_figure2_svg(str(tmp_path / "f2.svg"), chimes=2)
+        document = open(path).read()
+        xml.dom.minidom.parseString(document)
+        assert document.count("ld.l") == 4  # 2 row labels + 2 tooltips
+        assert "load/store" in document
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            figure2_svg([])
+
+
+class TestCliSvg:
+    def test_svg_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "fig2.svg")
+        assert main(["svg", "figure2", "--out", out]) == 0
+        xml.dom.minidom.parse(out)
+
+    def test_unknown_figure(self, capsys):
+        from repro.cli import main
+
+        assert main(["svg", "figure9"]) == 2

@@ -1,0 +1,76 @@
+"""Vector-length study and report generator tests."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    generate_report,
+    n_half_from_curve,
+    run_vector_length_study,
+)
+from repro.experiments.report import write_report
+
+
+class TestNHalf:
+    def test_linear_overhead_model(self):
+        """cost = 100 + n -> CPF(n) = 1 + 100/n -> n_1/2 at ~100/CPFinf."""
+        points = [(n, 1.0 + 100.0 / n) for n in (10, 50, 100, 200,
+                                                 10_000)]
+        n_half = n_half_from_curve(points)
+        # target = 2 * cpf_inf ~ 2.02 -> n ~ 98
+        assert n_half == pytest.approx(100.0, rel=0.05)
+
+    def test_already_fast_at_first_sample(self):
+        points = [(64, 1.0), (128, 0.9)]
+        assert n_half_from_curve(points) == 64.0
+
+    def test_non_monotone_curve_still_interpolates(self):
+        points = [(8, 10.0), (16, 12.0), (32, 1.2), (64, 1.0)]
+        n_half = n_half_from_curve(points)
+        assert 16 <= n_half <= 32
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ExperimentError):
+            n_half_from_curve([(8, 1.0)])
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_vector_length_study()
+
+    def test_cpf_monotone_decreasing(self, result):
+        for name, curve in result.data["curves"].items():
+            cpfs = [cpf for _, cpf in curve["points"]]
+            assert cpfs == sorted(cpfs, reverse=True), name
+
+    def test_n_half_in_plausible_band(self, result):
+        for curve in result.data["curves"].values():
+            assert 4 <= curve["n_half"] <= 128
+
+    def test_short_vectors_expensive(self, result):
+        for curve in result.data["curves"].values():
+            points = dict(curve["points"])
+            assert points[8] > 3.0 * points[1000]
+
+
+class TestReport:
+    def test_subset_report(self, tmp_path):
+        path = write_report(
+            str(tmp_path / "r.md"), ["figure1", "walkthrough"]
+        )
+        text = open(path).read()
+        assert text.startswith("# MACS reproduction report")
+        assert "Figure 1" in text
+        assert "LFK1 walkthrough" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError):
+            generate_report(["bogus"])
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = str(tmp_path / "cli.md")
+        assert main(["report", "--out", out, "figure1"]) == 0
+        assert "Figure 1" in open(out).read()

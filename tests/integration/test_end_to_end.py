@@ -1,0 +1,83 @@
+"""Cross-subsystem integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.isa import format_program, parse_program
+from repro.machine import Simulator
+from repro.model import macs_bound
+from repro.workloads import (
+    CASE_STUDY_KERNELS,
+    STENCIL_KERNELS,
+    kernel,
+    prepare_simulator,
+)
+
+
+@pytest.mark.parametrize(
+    "spec", CASE_STUDY_KERNELS + STENCIL_KERNELS,
+    ids=lambda s: s.name,
+)
+class TestAssemblyRoundTrip:
+    """Every compiled kernel survives print -> parse with identical
+    structure and identical MACS bound (exercises the parser/printer on
+    real strided, negative-displacement, labelled code)."""
+
+    def test_round_trip_structure(self, spec, compiled_kernels):
+        compiled = compiled_kernels.get(spec.name)
+        if compiled is None:
+            from repro.workloads import compile_spec
+
+            compiled = compile_spec(spec)
+        text = format_program(compiled.program)
+        reparsed = parse_program(text, name=spec.name)
+        assert [str(i) for i in reparsed] == [
+            str(i) for i in compiled.program
+        ]
+
+    def test_round_trip_macs_bound(self, spec, compiled_kernels):
+        compiled = compiled_kernels.get(spec.name)
+        if compiled is None:
+            from repro.workloads import compile_spec
+
+            compiled = compile_spec(spec)
+        reparsed = parse_program(
+            format_program(compiled.program), name=spec.name
+        )
+        assert macs_bound(reparsed).cpl == pytest.approx(
+            macs_bound(compiled.program).cpl
+        )
+
+
+class TestReparsedExecution:
+    def test_reparsed_program_runs_identically(self, compiled_kernels):
+        """Cycle-exact: the parsed listing is the same machine code."""
+        spec = kernel("lfk1")
+        compiled = compiled_kernels["lfk1"]
+        original = prepare_simulator(spec, compiled).run()
+        reparsed_program = parse_program(
+            format_program(compiled.program), name="lfk1"
+        )
+        reparsed = prepare_simulator(
+            spec, compiled, program=reparsed_program
+        ).run()
+        assert reparsed.cycles == original.cycles
+        assert reparsed.flops == original.flops
+
+
+class TestDeterminism:
+    def test_compilation_deterministic(self):
+        from repro.workloads import compile_spec
+
+        first = compile_spec(kernel("lfk8"))
+        second = compile_spec(kernel("lfk8"))
+        assert format_program(first.program) == format_program(
+            second.program
+        )
+
+    def test_simulation_deterministic(self, compiled_kernels):
+        spec = kernel("lfk2")
+        compiled = compiled_kernels["lfk2"]
+        a = prepare_simulator(spec, compiled).run()
+        b = prepare_simulator(spec, compiled).run()
+        assert a.cycles == b.cycles

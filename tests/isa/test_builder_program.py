@@ -1,0 +1,106 @@
+"""AsmBuilder and Program container tests."""
+
+import pytest
+
+from repro.errors import AsmSyntaxError, IsaError
+from repro.isa import AsmBuilder, Immediate, areg, sreg, vreg
+
+
+def build_strip_loop():
+    b = AsmBuilder("strip")
+    data = b.data("arr", 2048)
+    b.mov(Immediate(300), sreg(0))
+    b.mov(Immediate(0), areg(5))
+    with b.strip_loop(sreg(0), areg(5)):
+        b.vload(b.mem(data, areg(5)), vreg(0))
+        b.vadd(vreg(0), vreg(1), vreg(2))
+        b.vstore(vreg(2), b.mem(data, areg(5), 1024))
+    return b.build()
+
+
+class TestBuilder:
+    def test_strip_loop_structure(self):
+        program = build_strip_loop()
+        start, end = program.innermost_loop()
+        body = program.loop_slice((start, end))
+        assert body[0].name == "mov.w"  # VL setup
+        assert body[-1].name == "jbrs.t"
+        assert sum(1 for i in body if i.is_vector) == 3
+
+    def test_duplicate_data_symbol_rejected(self):
+        b = AsmBuilder()
+        b.data("x", 8)
+        with pytest.raises(IsaError):
+            b.data("x", 8)
+
+    def test_pending_label_must_attach(self):
+        b = AsmBuilder()
+        b.label("Lx")
+        with pytest.raises(IsaError):
+            b.build()
+
+    def test_two_pending_labels_rejected(self):
+        b = AsmBuilder()
+        b.label("L1")
+        with pytest.raises(IsaError):
+            b.label("L2")
+
+    def test_fresh_labels_unique(self):
+        b = AsmBuilder()
+        labels = {b.fresh_label() for _ in range(10)}
+        assert len(labels) == 10
+
+    def test_mem_displacement_in_words(self):
+        b = AsmBuilder()
+        symbol = b.data("y", 16)
+        mem = b.mem(symbol, areg(0), displacement_words=3)
+        assert mem.displacement == 24
+        assert mem.symbol == "y"
+
+
+class TestProgram:
+    def test_loop_detection(self):
+        program = build_strip_loop()
+        loops = program.loop_bodies()
+        assert len(loops) == 1
+
+    def test_innermost_loop_smallest(self):
+        b = AsmBuilder()
+        outer = b.fresh_label()
+        inner = b.fresh_label()
+        b.label(outer)
+        b.mov(Immediate(1), sreg(0))
+        b.label(inner)
+        b.sub_imm(1, sreg(1))
+        b.compare_lt(Immediate(0), sreg(1))
+        b.branch_true(inner)
+        b.compare_lt(Immediate(0), sreg(0))
+        b.branch_true(outer)
+        program = b.build()
+        start, end = program.innermost_loop()
+        assert program[start].label == inner
+
+    def test_no_loop_raises(self):
+        b = AsmBuilder()
+        b.mov(Immediate(0), sreg(0))
+        with pytest.raises(IsaError):
+            b.build().innermost_loop()
+
+    def test_label_pc_unknown(self):
+        with pytest.raises(IsaError):
+            build_strip_loop().label_pc("NOPE")
+
+    def test_replaced_keeps_layout(self):
+        program = build_strip_loop()
+        fp_only = program.replaced(
+            [i for i in program if not i.is_vector_memory],
+            name="xproc",
+        )
+        assert fp_only.name == "xproc"
+        assert fp_only.layout.lookup("arr").size_bytes == 2048 * 8
+        assert len(fp_only) < len(program)
+
+    def test_memory_references_collected(self):
+        program = build_strip_loop()
+        refs = program.memory_references()
+        assert len(refs) == 2

@@ -1,0 +1,69 @@
+"""Operand type tests."""
+
+import pytest
+
+from repro.errors import OperandError
+from repro.isa import (
+    Immediate,
+    LabelRef,
+    MemRef,
+    areg,
+    format_operand,
+    is_memory_operand,
+    sreg,
+)
+
+
+class TestImmediate:
+    def test_str(self):
+        assert str(Immediate(1024)) == "#1024"
+        assert str(Immediate(-8)) == "#-8"
+
+    def test_hashable(self):
+        assert len({Immediate(1), Immediate(1), Immediate(2)}) == 2
+
+
+class TestMemRef:
+    def test_plain(self):
+        assert str(MemRef(areg(5))) == "(a5)"
+
+    def test_symbol_and_displacement(self):
+        mem = MemRef(areg(5), 40120, "space1")
+        assert str(mem) == "space1+40120(a5)"
+
+    def test_symbol_without_displacement(self):
+        assert str(MemRef(areg(5), 0, "x")) == "x(a5)"
+
+    def test_displacement_only(self):
+        assert str(MemRef(areg(2), -16)) == "-16(a2)"
+
+    def test_stride_rendered(self):
+        assert str(MemRef(areg(6), 96, "PX", 25)) == "PX+96(a6)[25]"
+        assert str(MemRef(areg(4), 0, "W", -1)) == "W(a4)[-1]"
+
+    def test_unit_stride_not_rendered(self):
+        assert "[" not in str(MemRef(areg(5), 8, "x", 1))
+
+    def test_base_must_be_address_register(self):
+        with pytest.raises(OperandError):
+            MemRef(sreg(0))
+
+
+class TestLabelRef:
+    def test_str(self):
+        assert str(LabelRef("L7")) == "L7"
+
+    def test_empty_rejected(self):
+        with pytest.raises(OperandError):
+            LabelRef("")
+
+
+class TestHelpers:
+    def test_is_memory_operand(self):
+        assert is_memory_operand(MemRef(areg(0)))
+        assert not is_memory_operand(Immediate(3))
+        assert not is_memory_operand(areg(0))
+
+    def test_format_operand(self):
+        assert format_operand(Immediate(7)) == "#7"
+        assert format_operand(areg(3)) == "a3"

@@ -1,0 +1,132 @@
+"""Assembly text parsing and printing tests (incl. round trips)."""
+
+import pytest
+
+from repro.errors import AsmSyntaxError
+from repro.isa import (
+    Immediate,
+    LabelRef,
+    MemRef,
+    areg,
+    format_program,
+    parse_instruction,
+    parse_operand,
+    parse_program,
+    sreg,
+    vreg,
+    VL,
+)
+
+LFK1_LISTING = """
+.data   space1, 6000
+L7:     mov     s0,VL
+        ld.l    space1+40120(a5),v0 ; ZX
+        mul.d   v0,s1,v1
+        ld.l    space1+40128(a5),v2
+        mul.d   v2,s3,v0
+        add.d   v1,v0,v3
+        ld.l    space1+32032(a5),v1 ; Y
+        mul.d   v1,v3,v2
+        add.d   v2,s7,v0
+        st.l    v0,space1+24024(a5) ; X
+        add.w   #1024,a5
+        sub.w   #128,s0
+        lt.w    #0,s0
+        jbrs.t  L7
+"""
+
+
+class TestOperandParsing:
+    def test_register(self):
+        assert parse_operand("v3") == vreg(3)
+        assert parse_operand("VL") == VL
+
+    def test_immediate(self):
+        assert parse_operand("#1024") == Immediate(1024)
+        assert parse_operand("#-8") == Immediate(-8)
+
+    def test_memref_with_symbol(self):
+        op = parse_operand("space1+40120(a5)")
+        assert op == MemRef(areg(5), 40120, "space1", 1)
+
+    def test_memref_plain(self):
+        assert parse_operand("(a0)") == MemRef(areg(0))
+
+    def test_memref_negative_displacement(self):
+        op = parse_operand("-16(a2)")
+        assert op.displacement == -16
+
+    def test_memref_with_stride(self):
+        op = parse_operand("x+0(a5)[25]")
+        assert op.stride_words == 25
+
+    def test_memref_negative_stride(self):
+        assert parse_operand("w+0(a4)[-1]").stride_words == -1
+
+    def test_label(self):
+        assert parse_operand("L7") == LabelRef("L7")
+
+    @pytest.mark.parametrize("text", ["#x", "space1+(a5", "12x4", ""])
+    def test_bad_operands(self, text):
+        with pytest.raises(AsmSyntaxError):
+            parse_operand(text)
+
+
+class TestInstructionParsing:
+    def test_basic(self):
+        instr = parse_instruction("add.d v0,v1,v2")
+        assert instr.name == "add.d"
+        assert instr.operands == (vreg(0), vreg(1), vreg(2))
+
+    def test_unknown_opcode_reported(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_instruction("bogus v0")
+
+    def test_suffix_parsed(self):
+        assert parse_instruction("jbrs.t L7").suffix == "t"
+
+
+class TestProgramParsing:
+    def test_lfk1_listing(self):
+        program = parse_program(LFK1_LISTING, name="lfk1")
+        assert len(program) == 14
+        assert len(program.vector_instructions()) == 9
+        assert program.label_pc("L7") == 0
+        assert program.layout.lookup("space1").size_bytes == 6000 * 8
+
+    def test_comments_preserved(self):
+        program = parse_program(LFK1_LISTING)
+        assert program[1].comment == "ZX"
+
+    def test_label_on_own_line(self):
+        program = parse_program("Lx:\n        mov s0,VL\n")
+        assert program.label_pc("Lx") == 0
+
+    def test_undefined_branch_target_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_program("        jbrs.t NOWHERE\n")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_program("L1: mov s0,VL\nL1: mov s0,VL\n")
+
+    def test_dangling_label_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_program("        mov s0,VL\nLx:\n")
+
+
+class TestRoundTrip:
+    def test_lfk1_round_trip(self):
+        program = parse_program(LFK1_LISTING, name="lfk1")
+        reparsed = parse_program(format_program(program), name="lfk1")
+        assert [str(i) for i in reparsed] == [str(i) for i in program]
+        assert (
+            reparsed.layout.lookup("space1").offset_bytes
+            == program.layout.lookup("space1").offset_bytes
+        )
+
+    def test_strided_round_trip(self):
+        source = "        ld.l    px+96(a6)[25],v0\n"
+        program = parse_program(source)
+        again = parse_program(format_program(program))
+        assert again[0].memory_operand.stride_words == 25

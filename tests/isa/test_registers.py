@@ -1,0 +1,112 @@
+"""Register model tests."""
+
+import pytest
+
+from repro.errors import RegisterError
+from repro.isa import (
+    Register,
+    RegisterClass,
+    VECTOR_PAIRS,
+    VL,
+    VM,
+    VS,
+    areg,
+    sreg,
+    vector_pair_of,
+    vreg,
+)
+
+
+class TestConstruction:
+    def test_address_register_name(self):
+        assert areg(5).name == "a5"
+
+    def test_scalar_register_name(self):
+        assert sreg(0).name == "s0"
+
+    def test_vector_register_name(self):
+        assert vreg(7).name == "v7"
+
+    def test_special_register_names(self):
+        assert VL.name == "VL"
+        assert VS.name == "VS"
+        assert VM.name == "VM"
+
+    @pytest.mark.parametrize("index", [-1, 8, 100])
+    def test_out_of_range_index_rejected(self, index):
+        with pytest.raises(RegisterError):
+            vreg(index)
+
+    def test_special_register_rejects_index(self):
+        with pytest.raises(RegisterError):
+            Register(RegisterClass.VECTOR_LENGTH, 3)
+
+
+class TestClassification:
+    def test_vector_flag(self):
+        assert vreg(0).is_vector
+        assert not sreg(0).is_vector
+
+    def test_scalar_flag(self):
+        assert sreg(3).is_scalar
+        assert not areg(3).is_scalar
+
+    def test_address_flag(self):
+        assert areg(1).is_address
+        assert not VL.is_address
+
+
+class TestPairs:
+    def test_pair_structure(self):
+        assert VECTOR_PAIRS == (
+            (vreg(0), vreg(4)),
+            (vreg(1), vreg(5)),
+            (vreg(2), vreg(6)),
+            (vreg(3), vreg(7)),
+        )
+
+    @pytest.mark.parametrize("index,pair", [(0, 0), (4, 0), (1, 1),
+                                            (5, 1), (3, 3), (7, 3)])
+    def test_pair_index(self, index, pair):
+        assert vreg(index).pair_index == pair
+
+    def test_pair_of(self):
+        assert vector_pair_of(vreg(6)) == (vreg(2), vreg(6))
+
+    def test_pair_index_requires_vector(self):
+        with pytest.raises(RegisterError):
+            _ = sreg(0).pair_index
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a5", areg(5)),
+            ("s0", sreg(0)),
+            ("v7", vreg(7)),
+            ("VL", VL),
+            ("vl", VL),
+            ("VS", VS),
+        ],
+    )
+    def test_parse_valid(self, text, expected):
+        assert Register.parse(text) == expected
+
+    @pytest.mark.parametrize("text", ["x3", "a9", "v", "", "a-1", "q0"])
+    def test_parse_invalid(self, text):
+        with pytest.raises(RegisterError):
+            Register.parse(text)
+
+    def test_parse_round_trips_name(self):
+        for reg in (areg(2), sreg(6), vreg(3), VL):
+            assert Register.parse(reg.name) == reg
+
+
+class TestEquality:
+    def test_registers_hashable_and_equal(self):
+        assert vreg(3) == vreg(3)
+        assert len({vreg(3), vreg(3), vreg(4)}) == 2
+
+    def test_ordering(self):
+        assert sorted([vreg(3), vreg(1)]) == [vreg(1), vreg(3)]

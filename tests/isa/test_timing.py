@@ -1,0 +1,67 @@
+"""Timing database tests (paper Table 1)."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import TimingTable, VectorTiming, default_timing_table
+from repro.paperdata import PAPER_TABLE1
+
+
+class TestTable1Values:
+    @pytest.mark.parametrize("key", sorted(PAPER_TABLE1))
+    def test_matches_paper(self, key):
+        x, y, z, b = PAPER_TABLE1[key]
+        timing = default_timing_table().lookup(key)
+        assert (timing.x, timing.y, timing.z, timing.b) == (x, y, z, b)
+
+    def test_isolated_load_cycles(self):
+        load = default_timing_table().lookup("load")
+        assert load.isolated_cycles(128) == 140.0  # 2 + 10 + 128
+
+    def test_isolated_divide_cycles(self):
+        div = default_timing_table().lookup("div")
+        assert div.isolated_cycles(128) == 2 + 72 + 4 * 128
+
+    def test_streaming_cycles_includes_bubble(self):
+        store = default_timing_table().lookup("store")
+        assert store.streaming_cycles(128) == 132.0  # 128 + B=4
+
+
+class TestTableOperations:
+    def test_lookup_unknown_key(self):
+        with pytest.raises(IsaError):
+            default_timing_table().lookup("sqrt")
+
+    def test_contains(self):
+        table = default_timing_table()
+        assert "load" in table and "sqrt" not in table
+
+    def test_with_override(self):
+        table = default_timing_table()
+        slower = table.with_override(
+            "load", VectorTiming("load", x=2, y=20, z=1.0, b=2)
+        )
+        assert slower.lookup("load").y == 20
+        assert table.lookup("load").y == 10  # original untouched
+
+    def test_override_key_mismatch(self):
+        with pytest.raises(IsaError):
+            default_timing_table().with_override(
+                "load", VectorTiming("store", 2, 10, 1.0, 2)
+            )
+
+    def test_without_bubbles(self):
+        table = default_timing_table().without_bubbles()
+        assert all(
+            table.lookup(key).b == 0 for key in table.keys()
+        )
+
+    def test_equality(self):
+        assert default_timing_table() == default_timing_table()
+        assert default_timing_table() != (
+            default_timing_table().without_bubbles()
+        )
+
+    def test_invalid_vl(self):
+        with pytest.raises(IsaError):
+            default_timing_table().lookup("add").isolated_cycles(0)

@@ -1,0 +1,252 @@
+"""Loop analysis tests: inductions, affine accesses, reductions,
+dependence, constant propagation."""
+
+import pytest
+
+from repro.lang import (
+    ArrayRef,
+    DoLoop,
+    VarRef,
+    analyze_loop,
+    analyze_program,
+    parse_source,
+    walk_statements,
+)
+from repro.lang.analysis import collect_integer_constants
+
+
+def inner_loop(source):
+    program = parse_source(source)
+    loops = [
+        s for s in walk_statements(program.statements)
+        if isinstance(s, DoLoop)
+    ]
+    inner = [
+        loop for loop in loops
+        if not any(isinstance(s, DoLoop) for s in loop.body)
+    ]
+    return program, analyze_program(program), inner[0]
+
+
+def analyzed(source, ivdep=False, constants=None):
+    program, table, loop = inner_loop(source)
+    if constants is None:
+        constants = collect_integer_constants(program.statements)
+    return analyze_loop(loop, table, ivdep=ivdep, constants=constants)
+
+
+class TestInductions:
+    def test_loop_counter_is_induction(self):
+        analysis = analyzed(
+            "DIMENSION X(10), Y(20)\nDO 1 k = 1,n\n1 X(k) = Y(k)\n"
+        )
+        assert analysis.inductions["k"].step == 1
+
+    def test_derived_induction(self):
+        analysis = analyzed(
+            "DIMENSION X(500), Y(500)\n"
+            "i = 0\n"
+            "DO 1 k = 2,n,2\n"
+            "i = i + 1\n"
+            "1 X(i) = Y(k)\n",
+            ivdep=True,
+        )
+        assert analysis.inductions["i"].step == 1
+        assert analysis.inductions["k"].step == 2
+
+    def test_pre_increment_shifts_base(self):
+        """LFK2: i incremented before X(i) is written."""
+        analysis = analyzed(
+            "DIMENSION X(500), Y(500)\n"
+            "i = 0\n"
+            "DO 1 k = 2,n,2\n"
+            "i = i + 1\n"
+            "1 X(i) = Y(k)\n",
+            ivdep=True,
+        )
+        store = analysis.stores[0]
+        # X(i) with i pre-incremented: word = i_entry + 1 - 1 = i_entry.
+        assert store.access.stride_words == 1
+        assert store.access.base.const == 0
+
+    def test_post_increment_unshifted(self):
+        """LFK4: lw incremented after XZ(lw) is read."""
+        analysis = analyzed(
+            "DIMENSION XZ(500), Y(500)\n"
+            "temp = 0.0\n"
+            "lw = 1\n"
+            "DO 1 j = 5,n,5\n"
+            "temp = temp - XZ(lw)*Y(j)\n"
+            "1 lw = lw + 1\n"
+        )
+        load = [s for s in analysis.loads
+                if s.access.array == "XZ"][0]
+        assert load.access.stride_words == 1
+        assert load.access.base.const == -1  # lw_entry - 1 (1-based)
+
+
+class TestAffineAccesses:
+    def test_column_major_stride(self):
+        analysis = analyzed(
+            "DIMENSION PX(25,101)\nDO 1 i = 1,n\n"
+            "1 PX(1,i) = PX(3,i)\n"
+        )
+        assert all(
+            s.access.stride_words == 25 for s in analysis.streams
+        )
+
+    def test_negative_stride(self):
+        analysis = analyzed(
+            "DIMENSION W(100), B(65,64)\n"
+            "DO 6 i = 2,n\nDO 6 k = 1,i-1\n"
+            "6 W(i) = W(i) + B(i,k)*W(i-k)\n",
+            ivdep=True,
+        )
+        w_load = [s for s in analysis.loads
+                  if s.access.array == "W"][0]
+        assert w_load.access.stride_words == -1
+
+    def test_non_affine_rejected(self):
+        analysis = analyzed(
+            "DIMENSION X(100), Y(100)\nDO 1 k = 1,n\n"
+            "1 X(k) = Y(k*k)\n"
+        )
+        assert not analysis.vectorizable
+        assert "affine" in analysis.reason or "product" in analysis.reason
+
+
+class TestReductions:
+    def test_scalar_reduction(self):
+        analysis = analyzed(
+            "DIMENSION Z(10), X(10)\nQ = 0.0\nDO 3 k = 1,n\n"
+            "3 Q = Q + Z(k)*X(k)\n"
+        )
+        assert analysis.reduction is not None
+        assert analysis.reduction.op == "+"
+        assert isinstance(analysis.reduction.target, VarRef)
+
+    def test_subtractive_reduction(self):
+        analysis = analyzed(
+            "DIMENSION XZ(500), Y(500)\ntemp = 0.0\nlw = 1\n"
+            "DO 4 j = 5,n,5\ntemp = temp - XZ(lw)*Y(j)\n"
+            "4 lw = lw + 1\n"
+        )
+        assert analysis.reduction.op == "-"
+
+    def test_array_element_reduction(self):
+        analysis = analyzed(
+            "DIMENSION W(100), B(65,64)\nDO 6 i = 2,n\n"
+            "DO 6 k = 1,i-1\n6 W(i) = W(i) + B(i,k)*W(i-k)\n",
+            ivdep=True,
+        )
+        assert isinstance(analysis.reduction.target, ArrayRef)
+
+    def test_array_reduction_requires_ivdep_when_array_read(self):
+        analysis = analyzed(
+            "DIMENSION W(100), B(65,64)\nDO 6 i = 2,n\n"
+            "DO 6 k = 1,i-1\n6 W(i) = W(i) + B(i,k)*W(i-k)\n",
+            ivdep=False,
+        )
+        assert not analysis.vectorizable
+
+
+class TestDependence:
+    def test_true_recurrence_rejected(self):
+        analysis = analyzed(
+            "DIMENSION X(100)\nDO 1 k = 2,n\n"
+            "1 X(k) = X(k-1)\n"
+        )
+        assert not analysis.vectorizable
+        assert "recurrence" in analysis.reason
+
+    def test_anti_dependence_load_first_ok(self):
+        analysis = analyzed(
+            "DIMENSION X(100)\nDO 1 k = 1,n\n"
+            "1 X(k) = X(k+1)\n"
+        )
+        assert analysis.vectorizable
+
+    def test_interleaved_streams_ok(self):
+        """LFK10 pattern: stores and loads at distinct row offsets."""
+        analysis = analyzed(
+            "DIMENSION PX(25,101)\nDO 1 i = 1,n\n"
+            "1 PX(1,i) = PX(3,i)\n"
+        )
+        assert analysis.vectorizable
+
+    def test_same_element_forwarding_ok(self):
+        analysis = analyzed(
+            "DIMENSION D(100), X(100), Y(100)\nDO 1 k = 1,n\n"
+            "D(k) = X(k) + Y(k)\n"
+            "1 Y(k) = D(k)\n"
+        )
+        assert analysis.vectorizable
+
+    def test_ivdep_overrides(self):
+        analysis = analyzed(
+            "DIMENSION X(100)\nDO 1 k = 2,n\n"
+            "1 X(k) = X(k-1)\n",
+            ivdep=True,
+        )
+        assert analysis.vectorizable
+
+    def test_ziv_invariant_dimension_separates(self):
+        """LFK8: nl1/nl2 planes are independent once propagated."""
+        analysis = analyzed(
+            "DIMENSION U(5,101,2)\n"
+            "nl1 = 1\n"
+            "nl2 = 2\n"
+            "DO 8 ky = 2,n\n"
+            "8 U(2,ky,nl2) = U(2,ky+1,nl1) - U(2,ky-1,nl1)\n"
+        )
+        assert analysis.vectorizable, analysis.reason
+
+    def test_without_constants_unknown(self):
+        analysis = analyzed(
+            "DIMENSION U(5,101,2)\n"
+            "nl1 = 1\n"
+            "nl2 = 2\n"
+            "DO 8 ky = 2,n\n"
+            "8 U(2,ky,nl2) = U(2,ky+1,nl1) - U(2,ky-1,nl1)\n",
+            constants={},
+        )
+        assert not analysis.vectorizable
+
+    def test_control_flow_in_body_rejected(self):
+        program = parse_source(
+            "DIMENSION X(10)\n"
+            "DO 1 k = 1,n\n"
+            "IF (II > 1) GOTO 2\n"
+            "1 X(k) = 0.0\n"
+            "2 CONTINUE\n"
+        )
+        table = analyze_program(program)
+        loop = program.statements[1]
+        analysis = analyze_loop(loop, table)
+        assert not analysis.vectorizable
+        assert "control flow" in analysis.reason
+
+
+class TestConstantPropagation:
+    def test_chained_folding(self):
+        program = parse_source(
+            "m = (1001 - 7)/2\nmm = m + 1\n"
+        )
+        constants = collect_integer_constants(program.statements)
+        assert constants == {"m": 497, "mm": 498}
+
+    def test_reassigned_not_constant(self):
+        program = parse_source("II = n\nII = II/2\n")
+        constants = collect_integer_constants(program.statements)
+        assert "II" not in constants
+
+    def test_loop_assignments_excluded(self):
+        program = parse_source(
+            "DO 1 k = 1,n\n1 i = 2\n"
+        )
+        constants = collect_integer_constants(program.statements)
+        assert "i" not in constants
+
+    def test_runtime_rhs_not_constant(self):
+        program = parse_source("m = n/2\n")
+        assert collect_integer_constants(program.statements) == {}

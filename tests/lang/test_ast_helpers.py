@@ -1,0 +1,77 @@
+"""AST traversal/counting helper tests."""
+
+from repro.lang import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Const,
+    DoLoop,
+    VarRef,
+    array_reads,
+    count_fp_operations,
+    parse_source,
+    scalar_reads,
+    walk_exprs,
+    walk_statements,
+)
+
+
+def expr_of(text):
+    return parse_source(f"X = {text}").statements[0].expr
+
+
+class TestWalkers:
+    def test_walk_exprs_depth_first(self):
+        expr = expr_of("A(k) + B(k)*Q")
+        nodes = list(walk_exprs(expr))
+        assert sum(isinstance(n, ArrayRef) for n in nodes) == 2
+        assert sum(isinstance(n, VarRef) for n in nodes) >= 3  # k, k, Q
+
+    def test_walk_statements_recurses(self):
+        program = parse_source(
+            "DO 1 i = 1,n\nDO 1 k = 1,n\n1 X = 0.0\n"
+        )
+        statements = list(walk_statements(program.statements))
+        assert sum(isinstance(s, DoLoop) for s in statements) == 2
+        assert sum(isinstance(s, Assign) for s in statements) == 1
+
+    def test_scalar_reads(self):
+        assert scalar_reads(expr_of("Q + R*A(k)")) == {"Q", "R", "k"}
+
+
+class TestArrayReads:
+    def test_rhs_and_target_indices(self):
+        program = parse_source("DIMENSION A(9), B(9)\nA(1) = B(2)\n")
+        stmt = program.statements[1]
+        reads = array_reads(stmt)
+        assert [r.name for r in reads] == ["B"]
+
+
+class TestFpCounting:
+    def test_basic_split(self):
+        adds, muls = count_fp_operations(expr_of("a + b*c - d/e"))
+        assert (adds, muls) == (2, 2)
+
+    def test_unary_minus_counts_as_add(self):
+        adds, muls = count_fp_operations(expr_of("-a*b"))
+        assert (adds, muls) == (1, 1)
+
+    def test_index_arithmetic_excluded(self):
+        adds, muls = count_fp_operations(expr_of("A(k+10) + A(2*k)"))
+        assert (adds, muls) == (1, 0)
+
+    def test_lfk7_counts(self):
+        from repro.workloads import LFK7
+
+        program = parse_source(LFK7.source)
+        loop = next(
+            s for s in program.statements if isinstance(s, DoLoop)
+        )
+        adds, muls = count_fp_operations(loop.body[0].expr)
+        assert (adds, muls) == (8, 8)
+
+    def test_str_renderings(self):
+        assert str(Const(2.0, is_integer=True)) == "2"
+        assert "DO" in str(
+            parse_source("DO 1 k = 1,n\n1 X = 0.0\n").statements[0]
+        )

@@ -1,0 +1,88 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind not in
+            (TokenKind.NEWLINE, TokenKind.EOF)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind not in
+            (TokenKind.NEWLINE, TokenKind.EOF)]
+
+
+class TestBasics:
+    def test_leading_integer_is_label(self):
+        tokens = tokenize("    1 X(k) = 0.0")
+        assert tokens[0].kind is TokenKind.LABEL
+        assert tokens[0].text == "1"
+
+    def test_integer_not_at_line_start(self):
+        tokens = tokenize("X = 1")
+        assert tokens[2].kind is TokenKind.INT
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("do 1 k = 1,n")[0] is TokenKind.KEYWORD
+        assert texts("Do 1 k = 1,n")[0] == "DO"
+
+    def test_identifiers_preserve_case(self):
+        assert "ZX" in texts("ZX(k)")
+
+    def test_real_literals(self):
+        tokens = tokenize("X = 2.0")
+        assert tokens[2].kind is TokenKind.REAL
+        tokens = tokenize("X = 1.5E2")
+        assert tokens[2].kind is TokenKind.REAL
+
+    def test_operators(self):
+        assert texts("a = (b + c)*d - e/f") == [
+            "a", "=", "(", "b", "+", "c", ")", "*", "d", "-", "e",
+            "/", "f",
+        ]
+
+
+class TestRelationalOperators:
+    @pytest.mark.parametrize(
+        "classic,modern",
+        [(".GT.", ">"), (".LT.", "<"), (".GE.", ">="),
+         (".LE.", "<="), (".EQ.", "=="), (".NE.", "/=")],
+    )
+    def test_dot_forms_normalized(self, classic, modern):
+        assert texts(f"IF (a {classic} b) GOTO 1")[3] == modern
+
+    def test_modern_forms(self):
+        assert ">" in texts("IF (II > 1) GOTO 222")
+
+
+class TestCommentsAndBlanks:
+    def test_bang_comment_stripped(self):
+        assert texts("X = 1 ! comment") == ["X", "=", "1"]
+
+    def test_classic_comment_card(self):
+        assert kinds("C this is a comment\nX = 1") == [
+            TokenKind.IDENT, TokenKind.OP, TokenKind.INT,
+        ]
+
+    def test_blank_lines_skipped(self):
+        tokens = tokenize("\n\nX = 1\n\n")
+        assert tokens[0].kind is TokenKind.IDENT
+
+    def test_position_info(self):
+        token = tokenize("  X = 1")[0]
+        assert token.line == 1 and token.column == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("X = @")
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as info:
+            tokenize("X = $")
+        assert info.value.line == 1

@@ -1,0 +1,165 @@
+"""Mini-Fortran parser tests on the kernel shapes the paper uses."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Compare,
+    Const,
+    Continue,
+    Dimension,
+    DoLoop,
+    IfGoto,
+    VarRef,
+    parse_source,
+)
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        program = parse_source(f"X = {text}")
+        return program.statements[0].expr
+
+    def test_precedence(self):
+        expr = self.parse_expr("a + b*c")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = self.parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert isinstance(expr.left, BinOp)
+
+    def test_parentheses(self):
+        expr = self.parse_expr("(a + b)*c")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = self.parse_expr("-a*b")
+        assert expr.op == "*"
+
+    def test_array_reference_multi_dim(self):
+        expr = self.parse_expr("PX(5, i)")
+        assert isinstance(expr, ArrayRef)
+        assert len(expr.indices) == 2
+
+    def test_integer_vs_real_constants(self):
+        assert self.parse_expr("2").is_integer
+        assert not self.parse_expr("2.0").is_integer
+
+
+class TestDoLoops:
+    def test_enddo_form(self):
+        program = parse_source(
+            "DO k = 1,n\nX(k) = Y(k)\nENDDO\n"
+        )
+        loop = program.statements[0]
+        assert isinstance(loop, DoLoop)
+        assert len(loop.body) == 1
+
+    def test_label_terminated_form(self):
+        program = parse_source(
+            "      DO 1 k = 1,n\n    1 X(k) = Y(k)\n"
+        )
+        loop = program.statements[0]
+        assert loop.terminal_label == "1"
+        assert len(loop.body) == 1
+
+    def test_shared_terminal_label_nested(self):
+        """LFK6's shape: both loops close on statement 6."""
+        program = parse_source(
+            "      DO 6 i = 2,n\n"
+            "      DO 6 k = 1,i-1\n"
+            "    6 W(i) = W(i) + B(i,k)*W(i-k)\n"
+        )
+        outer = program.statements[0]
+        assert isinstance(outer, DoLoop) and outer.var == "i"
+        inner = outer.body[0]
+        assert isinstance(inner, DoLoop) and inner.var == "k"
+        assert len(inner.body) == 1
+        assert len(program.statements) == 1
+
+    def test_continue_terminated(self):
+        program = parse_source(
+            "      DO 444 k = 7,1001,m\n"
+            "      lw = k - 6\n"
+            "  444 CONTINUE\n"
+        )
+        loop = program.statements[0]
+        assert isinstance(loop.body[-1], Continue)
+
+    def test_step_expression(self):
+        program = parse_source("DO 4 j = 5,n,5\n4 lw = lw + 1\n")
+        loop = program.statements[0]
+        assert isinstance(loop.step, Const)
+        assert loop.step.value == 5.0
+
+    def test_unclosed_loop_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("DO 9 k = 1,n\nX(k) = 1\n")
+
+    def test_stray_enddo_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("ENDDO\n")
+
+
+class TestOtherStatements:
+    def test_dimension(self):
+        program = parse_source("DIMENSION X(1001), PX(25,101)\n")
+        decl = program.statements[0]
+        assert isinstance(decl, Dimension)
+        assert decl.arrays == (
+            ("X", (1001,)), ("PX", (25, 101)),
+        )
+
+    def test_if_goto(self):
+        program = parse_source(
+            "  222 IPNT = IPNTP\n      IF (II > 1) GOTO 222\n"
+        )
+        branch = program.statements[1]
+        assert isinstance(branch, IfGoto)
+        assert branch.target == "222"
+        assert isinstance(branch.condition, Compare)
+
+    def test_classic_relational(self):
+        program = parse_source(
+            "    1 X = 0.0\n      IF (II .GT. 1) GOTO 1\n"
+        )
+        assert program.statements[1].condition.op == ">"
+
+    def test_scalar_assignment(self):
+        program = parse_source("Q = 0.0\n")
+        stmt = program.statements[0]
+        assert isinstance(stmt.target, VarRef)
+
+    def test_garbage_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("GOTO GOTO\n")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("X = 1 2\n")
+
+
+class TestFullKernels:
+    def test_lfk2_structure(self):
+        from repro.workloads import LFK2
+
+        program = parse_source(LFK2.source)
+        # DIMENSION, 3 scalar assigns, (labelled) assigns, loop, if-goto
+        assert any(isinstance(s, DoLoop) for s in program.statements)
+        assert isinstance(program.statements[-1], IfGoto)
+
+    def test_lfk8_structure(self):
+        from repro.workloads import LFK8
+
+        program = parse_source(LFK8.source)
+        outer = [s for s in program.statements if isinstance(s, DoLoop)]
+        assert len(outer) == 1
+        inner = [s for s in outer[0].body if isinstance(s, DoLoop)]
+        assert len(inner) == 1
+        assert len(inner[0].body) == 6  # 3 DU + 3 U statements

@@ -1,0 +1,97 @@
+"""Symbol table and semantic-check tests."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang import (
+    ScalarType,
+    analyze_program,
+    implicit_type,
+    parse_source,
+)
+
+
+class TestImplicitTyping:
+    @pytest.mark.parametrize("name", ["i", "J", "k", "lw", "m", "n", "II"])
+    def test_integers(self, name):
+        assert implicit_type(name) is ScalarType.INTEGER
+
+    @pytest.mark.parametrize("name", ["Q", "temp", "X", "acc", "SIG"])
+    def test_reals(self, name):
+        assert implicit_type(name) is ScalarType.REAL
+
+
+class TestSymbolTable:
+    def test_arrays_collected(self):
+        table = analyze_program(
+            parse_source("DIMENSION X(10), B(4,5)\nX(1) = B(2,3)\n")
+        )
+        assert table.array("X").dims == (10,)
+        assert table.array("B").dims == (4, 5)
+
+    def test_scalars_typed(self):
+        table = analyze_program(parse_source("i = 1\nQ = 2.0\n"))
+        assert table.is_integer("i")
+        assert not table.is_integer("Q")
+
+    def test_column_major_strides(self):
+        table = analyze_program(parse_source("DIMENSION U(5,101,2)\n"))
+        assert table.array("U").dim_strides() == (1, 5, 505)
+        assert table.array("U").size_words == 1010
+
+    def test_word_offset(self):
+        table = analyze_program(parse_source("DIMENSION U(5,101,2)\n"))
+        # U(2, 3, 1): (2-1) + (3-1)*5 + 0 = 11
+        assert table.array("U").word_offset((2, 3, 1)) == 11
+
+    def test_word_offset_bounds(self):
+        table = analyze_program(parse_source("DIMENSION X(10)\n"))
+        with pytest.raises(SemanticError):
+            table.array("X").word_offset((11,))
+
+
+class TestValidation:
+    def test_undeclared_array(self):
+        with pytest.raises(SemanticError):
+            analyze_program(parse_source("X(1) = Y(1)\n"))
+
+    def test_wrong_arity(self):
+        with pytest.raises(SemanticError):
+            analyze_program(
+                parse_source("DIMENSION X(10)\nX(1,2) = 0.0\n")
+            )
+
+    def test_scalar_array_conflict(self):
+        with pytest.raises(SemanticError):
+            analyze_program(
+                parse_source("DIMENSION X(10)\nX = 0.0\n")
+            )
+
+    def test_duplicate_dimension(self):
+        with pytest.raises(SemanticError):
+            analyze_program(
+                parse_source("DIMENSION X(10), X(20)\n")
+            )
+
+    def test_real_loop_variable_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_program(
+                parse_source("DO 1 q = 1,n\n1 CONTINUE\n")
+            )
+
+    def test_goto_target_must_exist(self):
+        with pytest.raises(SemanticError):
+            analyze_program(parse_source("IF (II > 1) GOTO 999\n"))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(SemanticError):
+            analyze_program(
+                parse_source("    5 X = 1.0\n    5 Y = 2.0\n")
+            )
+
+    def test_all_lfk_kernels_analyze(self):
+        from repro.workloads import CASE_STUDY_KERNELS
+
+        for spec in CASE_STUDY_KERNELS:
+            table = analyze_program(parse_source(spec.source))
+            assert table.arrays

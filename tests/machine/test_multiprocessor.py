@@ -1,0 +1,82 @@
+"""Multiprocessor contention model tests (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.isa import parse_program
+from repro.machine import (
+    WorkloadMix,
+    contention_factor_for_load,
+    run_under_contention,
+)
+
+MEMORY_LOOP = """
+.data   a, 512
+.data   c, 512
+        mov     #0,a0
+        mov     #512,s0
+        mov     #0,a5
+L1:     mov     s0,VL
+        ld.l    a+0(a5),v0
+        st.l    v0,c+0(a5)
+        add.w   #1024,a5
+        sub.w   #128,s0
+        lt.w    #0,s0
+        jbrs.t  L1
+"""
+
+
+class TestContentionFactors:
+    def test_idle_is_peak(self):
+        assert contention_factor_for_load(WorkloadMix.IDLE) == 1.0
+
+    def test_lockstep_mild(self):
+        factor = contention_factor_for_load(WorkloadMix.SAME_EXECUTABLE)
+        assert 1.05 <= factor <= 1.15
+
+    def test_saturated_in_paper_band(self):
+        """Paper: 56-64 ns effective access under load."""
+        factor = contention_factor_for_load(
+            WorkloadMix.DIFFERENT_PROGRAMS, 5.1
+        )
+        assert 56 / 40 <= factor <= 64 / 40
+
+    def test_below_saturation_interpolates(self):
+        half = contention_factor_for_load(
+            WorkloadMix.DIFFERENT_PROGRAMS, 2.0
+        )
+        full = contention_factor_for_load(
+            WorkloadMix.DIFFERENT_PROGRAMS, 5.1
+        )
+        assert 1.0 < half < full
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(MachineError):
+            contention_factor_for_load(WorkloadMix.IDLE, -1.0)
+
+
+class TestContentionRuns:
+    def test_memory_bound_loop_degrades_fully(self):
+        program = parse_program(MEMORY_LOOP)
+        comparison = run_under_contention(
+            program, initial_data={"a": np.ones(512)}
+        )
+        # A pure-memory loop approaches the raw access-time stretch.
+        assert 30.0 < comparison.degradation_percent < 60.0
+
+    def test_idle_mix_no_degradation(self):
+        program = parse_program(MEMORY_LOOP)
+        comparison = run_under_contention(
+            program, mix=WorkloadMix.IDLE,
+            initial_data={"a": np.ones(512)},
+        )
+        assert comparison.degradation_percent == pytest.approx(0.0)
+
+    def test_lockstep_mix_mild_degradation(self):
+        program = parse_program(MEMORY_LOOP)
+        comparison = run_under_contention(
+            program, mix=WorkloadMix.SAME_EXECUTABLE,
+            initial_data={"a": np.ones(512)},
+        )
+        assert 3.0 < comparison.degradation_percent < 15.0

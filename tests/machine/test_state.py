@@ -1,0 +1,68 @@
+"""RegisterFile state tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import VL, VM, VS, areg, sreg, vreg
+from repro.machine import RegisterFile
+
+
+class TestScalarAccess:
+    def test_address_registers_integer(self):
+        regfile = RegisterFile()
+        regfile.write(areg(3), 1024.7)
+        assert regfile.read(areg(3)) == 1024
+        assert isinstance(regfile.read(areg(3)), int)
+
+    def test_scalar_registers_float(self):
+        regfile = RegisterFile()
+        regfile.write(sreg(2), 2.5)
+        assert regfile.read(sreg(2)) == 2.5
+
+    def test_vl_clamping(self):
+        regfile = RegisterFile()
+        regfile.write(VL, 1000)
+        assert regfile.vl == 128
+        regfile.write(VL, -5)
+        assert regfile.vl == 0
+        regfile.write(VL, 37)
+        assert regfile.read(VL) == 37
+
+    def test_custom_max_vl(self):
+        regfile = RegisterFile(max_vl=64)
+        regfile.write(VL, 128)
+        assert regfile.vl == 64
+
+    def test_vs_register(self):
+        regfile = RegisterFile()
+        regfile.write(VS, 25)
+        assert regfile.read(VS) == 25
+
+    def test_vector_register_not_scalar_readable(self):
+        regfile = RegisterFile()
+        with pytest.raises(SimulationError):
+            regfile.read(vreg(0))
+        with pytest.raises(SimulationError):
+            regfile.write(vreg(0), 1.0)
+
+    def test_vm_not_scalar_readable(self):
+        regfile = RegisterFile()
+        with pytest.raises(SimulationError):
+            regfile.read(VM)
+
+
+class TestVectorAccess:
+    def test_read_write_respect_vl(self):
+        regfile = RegisterFile()
+        regfile.vl = 3
+        regfile.write_vector(vreg(1), np.array([1.0, 2.0, 3.0]))
+        assert list(regfile.read_vector(vreg(1))) == [1.0, 2.0, 3.0]
+        assert regfile.v[1, 3] == 0.0
+
+    def test_scalar_register_rejected_for_vector_ops(self):
+        regfile = RegisterFile()
+        with pytest.raises(SimulationError):
+            regfile.read_vector(sreg(0))
+        with pytest.raises(SimulationError):
+            regfile.write_vector(areg(0), np.zeros(128))

@@ -1,0 +1,80 @@
+"""Pipeline trace analysis and rendering tests."""
+
+import pytest
+
+from repro.isa import AsmBuilder, Immediate, areg, vreg
+from repro.machine import (
+    MachineConfig,
+    Simulator,
+    chime_completion_times,
+    render_timeline,
+    steady_state_chime_cycles,
+    vector_occupancies,
+)
+
+
+@pytest.fixture(scope="module")
+def chime_trace():
+    b = AsmBuilder("trace")
+    data = b.data("arr", 8192)
+    b.mov(Immediate(0), areg(0))
+    b.mov(Immediate(0), areg(5))
+    b.set_vl(Immediate(128))
+    for _ in range(6):
+        b.vload(b.mem(data, areg(5)), vreg(0))
+        b.vadd(vreg(0), vreg(1), vreg(2))
+        b.vmul(vreg(2), vreg(3), vreg(5))
+        b.add_imm(1024, areg(5))
+    sim = Simulator(b.build(), MachineConfig().without_refresh())
+    sim.regfile.prime_vectors()
+    return sim.run(record_trace=True).trace
+
+
+class TestOccupancies:
+    def test_only_vector_instructions(self, chime_trace):
+        occupancies = vector_occupancies(chime_trace)
+        assert len(occupancies) == 18  # 6 chimes x 3
+
+    def test_intervals_ordered(self, chime_trace):
+        for occ in vector_occupancies(chime_trace):
+            assert occ.start <= occ.first_result <= occ.complete
+
+    def test_completion_times_monotone_per_pipe(self, chime_trace):
+        completions = chime_completion_times(chime_trace)
+        assert completions == sorted(completions)
+
+
+class TestTimeline:
+    def test_renders_rows_for_each_instruction(self, chime_trace):
+        entries = [t for t in chime_trace if t.pipe is not None][:6]
+        text = render_timeline(entries, width=40)
+        assert text.count("\n") == 6  # header + 6 rows
+        assert "ld.l" in text and "mul.d" in text
+
+    def test_marks_first_result(self, chime_trace):
+        entries = [t for t in chime_trace if t.pipe is not None][:3]
+        text = render_timeline(entries, width=60)
+        assert "|" in text
+
+    def test_empty_trace(self):
+        assert "no vector instructions" in render_timeline([])
+
+    def test_explicit_window(self, chime_trace):
+        entries = [t for t in chime_trace if t.pipe is not None][:3]
+        text = render_timeline(entries, width=40, start=0.0, end=500.0)
+        assert "0..500" in text
+
+
+class TestSteadyState:
+    def test_converges_to_chime_cost(self, chime_trace):
+        completions = chime_completion_times(chime_trace)
+        steady = steady_state_chime_cycles(completions, 3)
+        assert 128.0 <= steady <= 134.0
+
+    def test_requires_two_iterations(self):
+        with pytest.raises(ValueError):
+            steady_state_chime_cycles([100.0], 1)
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ValueError):
+            steady_state_chime_cycles([1.0, 2.0], 0)

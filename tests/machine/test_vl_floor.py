@@ -1,0 +1,86 @@
+"""§3.2 VL-threshold mechanism: "run time no longer improves when VL
+drops below some operation-specific threshold"."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import AsmBuilder, Immediate, VectorTiming, areg, vreg
+from repro.isa.timing import default_timing_table
+from repro.machine import MachineConfig, Simulator
+from repro.schedule import partition_chimes
+
+
+class TestTimingFloor:
+    def test_default_no_floor(self):
+        load = default_timing_table().lookup("load")
+        assert load.vl_floor == 0
+        assert load.effective_vl(5) == 5
+
+    def test_floor_clamps_short_vectors(self):
+        timing = VectorTiming("load", 2, 10, 1.0, 2, vl_floor=16)
+        assert timing.effective_vl(5) == 16
+        assert timing.effective_vl(64) == 64
+        assert timing.isolated_cycles(5) == 2 + 10 + 16
+
+    def test_table_with_floor(self):
+        table = default_timing_table().with_vl_floor(16)
+        assert all(
+            table.lookup(k).vl_floor == 16 for k in table.keys()
+        )
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(IsaError):
+            default_timing_table().with_vl_floor(-1)
+
+    def test_floor_preserved_by_bubble_ablation(self):
+        table = default_timing_table().with_vl_floor(8)
+        assert table.without_bubbles().lookup("load").vl_floor == 8
+
+
+class TestFloorInBoundsAndSimulator:
+    def make_loop(self, vl):
+        b = AsmBuilder("floor")
+        data = b.data("arr", 2048)
+        b.mov(Immediate(0), areg(0))
+        b.mov(Immediate(0), areg(5))
+        b.set_vl(Immediate(vl))
+        for i in range(4):
+            b.vload(b.mem(data, areg(5), 128 * i), vreg(i))
+        return b.build()
+
+    def test_chime_cost_floors(self):
+        body = [
+            i for i in self.make_loop(4) if i.is_vector
+        ]
+        partition = partition_chimes(body)
+        floored = default_timing_table().with_vl_floor(32)
+        plain = partition.total_cycles(4, default_timing_table())
+        clamped = partition.total_cycles(4, floored)
+        assert clamped > plain
+        assert clamped == partition.total_cycles(32, floored)
+
+    def test_simulator_run_time_stops_improving(self):
+        floored = MachineConfig(
+            timings=default_timing_table().with_vl_floor(32)
+        ).without_refresh()
+
+        def cycles(vl):
+            sim = Simulator(self.make_loop(vl), floored)
+            return sim.run().cycles
+
+        assert cycles(4) == cycles(16) == cycles(32)
+        assert cycles(64) > cycles(32)
+
+    def test_functional_results_unaffected(self):
+        """The floor is a timing effect only: VL elements move."""
+        import numpy as np
+
+        floored = MachineConfig(
+            timings=default_timing_table().with_vl_floor(32)
+        )
+        program = self.make_loop(4)
+        sim = Simulator(program, floored)
+        sim.load_symbol("arr", np.arange(2048, dtype=float))
+        sim.run()
+        assert list(sim.regfile.v[0, :4]) == [0.0, 1.0, 2.0, 3.0]
+        assert sim.regfile.v[0, 4] == 0.0  # untouched beyond VL

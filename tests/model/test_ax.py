@@ -1,0 +1,113 @@
+"""A/X transformation and measurement tests (§3.6)."""
+
+import pytest
+
+from repro.model import (
+    access_only_program,
+    execute_only_program,
+    measure_ax,
+)
+from repro.workloads import CASE_STUDY_KERNELS
+
+
+class TestTransforms:
+    def test_access_program_has_no_vector_fp(self, lfk1_compiled):
+        access = access_only_program(lfk1_compiled.program)
+        assert not any(i.is_vector_fp for i in access)
+        # Memory side retained in full.
+        originals = sum(
+            1 for i in lfk1_compiled.program if i.is_vector_memory
+        )
+        assert sum(1 for i in access if i.is_vector_memory) == originals
+
+    def test_execute_program_has_no_vector_memory(self, lfk1_compiled):
+        execute = execute_only_program(lfk1_compiled.program)
+        assert not any(i.is_vector_memory for i in execute)
+        originals = sum(
+            1 for i in lfk1_compiled.program if i.is_vector_fp
+        )
+        assert sum(1 for i in execute if i.is_vector_fp) == originals
+
+    def test_scalar_code_untouched(self, lfk1_compiled):
+        """Control flow must be preserved (paper footnote 2)."""
+        for transform in (access_only_program, execute_only_program):
+            transformed = transform(lfk1_compiled.program)
+            original_scalars = [
+                str(i) for i in lfk1_compiled.program if not i.is_vector
+            ]
+            kept_scalars = [
+                str(i).replace(": ", ":: ", 0)
+                for i in transformed if not i.is_vector
+            ]
+            # Same scalar instructions in the same order (labels may
+            # migrate, so compare without labels).
+            strip = lambda text: text.split(": ")[-1]
+            assert [strip(s) for s in kept_scalars] == [
+                strip(s) for s in original_scalars
+            ]
+
+    def test_labels_migrate_to_next_instruction(self, compiled_kernels):
+        program = compiled_kernels["lfk3"].program
+        execute = execute_only_program(program)
+        # Every branch target must still resolve.
+        for instr in execute:
+            if instr.is_branch:
+                execute.label_pc(instr.operands[0].name)
+
+    def test_transformed_programs_run(self, compiled_kernels):
+        from repro.workloads import kernel
+
+        for name in ("lfk1", "lfk3", "lfk8"):
+            measurement = measure_ax(
+                kernel(name), compiled_kernels[name]
+            )
+            assert measurement.t_a_cpl > 0
+            assert measurement.t_x_cpl > 0
+
+
+@pytest.mark.parametrize(
+    "spec", CASE_STUDY_KERNELS, ids=lambda s: s.name
+)
+class TestEquation18:
+    def test_bracketing(self, spec, workload_analyses):
+        """MAX(t_x, t_a) <= t_p <= ~(t_x + t_a) (paper eq. 18)."""
+        analysis = workload_analyses[spec.name]
+        ax = analysis.ax
+        floor = ax.overlap_lower_bound()
+        assert analysis.t_p_cpl >= floor - 1e-9
+        # The sum bound holds loosely (scalar overheads are shared
+        # between the two measurement codes).
+        assert analysis.t_p_cpl <= 1.25 * ax.overlap_upper_bound()
+
+
+class TestOverlapDiagnostics:
+    def test_memory_bound_kernels_have_ta_above_tx(
+        self, workload_analyses
+    ):
+        """For the strongly memory-bound kernels the A-process
+        dominates."""
+        for name in ("lfk1", "lfk10", "lfk12"):
+            ax = workload_analyses[name].ax
+            assert ax.t_a_cpl > ax.t_x_cpl
+
+    def test_overlap_quality_in_unit_range_for_good_kernels(
+        self, workload_analyses
+    ):
+        analysis = workload_analyses["lfk1"]
+        quality = analysis.ax.overlap_quality(analysis.t_p_cpl)
+        assert 0.0 <= quality <= 0.2  # near-perfect overlap
+
+    def test_poor_overlap_kernels_score_higher(self, workload_analyses):
+        good = workload_analyses["lfk1"]
+        poor = workload_analyses["lfk4"]
+        assert poor.ax.overlap_quality(poor.t_p_cpl) > \
+            good.ax.overlap_quality(good.t_p_cpl)
+
+    def test_m_bound_explains_access_time(self, workload_analyses):
+        """t_m'' explains >= 90% of measured t_a for the well-behaved
+        kernels (paper: >= 95% except LFK 2, 4, 6)."""
+        for name, analysis in workload_analyses.items():
+            if analysis.spec.number in (2, 4, 6):
+                continue
+            ratio = analysis.macs_m.cpl / analysis.ax.t_a_cpl
+            assert ratio >= 0.90, (name, ratio)

@@ -1,0 +1,63 @@
+"""Calibration-loop tests: Table 1 recovered from the simulator."""
+
+import pytest
+
+from repro import paperdata
+from repro.errors import ModelError
+from repro.model import (
+    calibrate_all,
+    calibrate_instruction,
+    compare_with_table1,
+)
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    return compare_with_table1(calibrate_all())
+
+
+class TestDerivedParameters:
+    @pytest.mark.parametrize("key", sorted(paperdata.PAPER_TABLE1))
+    def test_z_recovered(self, comparisons, key):
+        comparison = next(c for c in comparisons if c.row.key == key)
+        assert comparison.z_error <= 0.05
+
+    @pytest.mark.parametrize("key", sorted(paperdata.PAPER_TABLE1))
+    def test_b_recovered(self, comparisons, key):
+        comparison = next(c for c in comparisons if c.row.key == key)
+        assert comparison.b_error <= 1.0
+
+    @pytest.mark.parametrize("key", ["load", "store", "add", "mul"])
+    def test_y_recovered_for_common_ops(self, comparisons, key):
+        comparison = next(c for c in comparisons if c.row.key == key)
+        assert comparison.y_error <= 2.0
+
+    def test_divide_rate(self, comparisons):
+        div = next(c for c in comparisons if c.row.key == "div")
+        assert div.row.z == pytest.approx(4.0, abs=0.05)
+
+    def test_reduction_rate(self, comparisons):
+        total = next(c for c in comparisons if c.row.key == "sum")
+        assert total.row.z == pytest.approx(1.35, abs=0.05)
+
+    def test_rounded_rows_match_table1(self, comparisons):
+        for comparison in comparisons:
+            timing = comparison.row.as_timing()
+            reference = comparison.reference
+            assert timing.z == pytest.approx(reference.z, abs=0.05)
+            assert timing.b == reference.b
+
+
+class TestCalibrationHarness:
+    def test_unknown_instruction_rejected(self):
+        with pytest.raises(ModelError):
+            calibrate_instruction("sqrt")
+
+    def test_vl_ordering_validated(self):
+        with pytest.raises(ModelError):
+            calibrate_instruction("add", vl_low=128, vl_high=64)
+
+    def test_deterministic(self):
+        first = calibrate_instruction("load")
+        second = calibrate_instruction("load")
+        assert first == second

@@ -1,0 +1,168 @@
+"""Tests for the paper's proposed extensions: extended MACS (short
+vectors / outer overhead), the MACS-D allocation bound, and the
+optimization advisor."""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.errors import ModelError
+from repro.model import (
+    advise,
+    extended_macs_bound,
+    macs_bound,
+    macs_d_bound,
+)
+from repro.model.advisor import AdviceTarget, advise_report
+from repro.workloads import CASE_STUDY_KERNELS
+
+
+class TestExtendedMacs:
+    def test_steady_kernels_unmoved(self, workload_analyses):
+        """At a single long entry the extension adds only startup."""
+        for name in ("lfk1", "lfk7", "lfk10", "lfk12"):
+            analysis = workload_analyses[name]
+            extended = extended_macs_bound(
+                analysis.compiled, analysis.spec.trip_profile
+            )
+            assert extended.cpl <= analysis.macs.cpl * 1.05
+
+    def test_closes_short_vector_gaps(self, workload_analyses):
+        """LFK 2, 4, 6: the extension explains >= 80% of measured."""
+        for name in ("lfk2", "lfk4", "lfk6"):
+            analysis = workload_analyses[name]
+            extended = extended_macs_bound(
+                analysis.compiled, analysis.spec.trip_profile
+            )
+            explained = 100.0 * extended.cpl / analysis.t_p_cpl
+            base = 100.0 * analysis.macs.cpl / analysis.t_p_cpl
+            assert explained >= 78.0, (name, explained)
+            assert explained > base + 10.0, (name, explained, base)
+
+    def test_model_stays_near_or_below_measured(self, workload_analyses):
+        """XMACS is a model: within ~2% above measured at worst."""
+        for name, analysis in workload_analyses.items():
+            extended = extended_macs_bound(
+                analysis.compiled, analysis.spec.trip_profile
+            )
+            assert extended.cpl <= analysis.t_p_cpl * 1.02, name
+
+    def test_penalty_accessor(self, workload_analyses):
+        analysis = workload_analyses["lfk6"]
+        extended = extended_macs_bound(
+            analysis.compiled, analysis.spec.trip_profile
+        )
+        assert extended.short_vector_penalty_cpl == pytest.approx(
+            extended.cpl - extended.steady_cpl
+        )
+        assert extended.short_vector_penalty_cpl > 1.0
+
+    def test_strip_accounting(self, workload_analyses):
+        analysis = workload_analyses["lfk4"]
+        extended = extended_macs_bound(
+            analysis.compiled, analysis.spec.trip_profile
+        )
+        # 3 entries x (128 + 72) = 6 strips.
+        assert extended.entries == 3
+        assert extended.strip_count == 6
+
+    def test_empty_profile_rejected(self, lfk1_compiled):
+        with pytest.raises(ModelError):
+            extended_macs_bound(lfk1_compiled, ())
+
+    def test_negative_trips_rejected(self, lfk1_compiled):
+        with pytest.raises(ModelError):
+            extended_macs_bound(lfk1_compiled, (100, -1))
+
+    def test_zero_sum_profile_rejected(self, lfk1_compiled):
+        with pytest.raises(ModelError):
+            extended_macs_bound(lfk1_compiled, (0, 0))
+
+
+class TestMacsD:
+    STRIDED = (
+        "DIMENSION A({s},300), B({s},300), C({s},300)\n"
+        "DO 1 k = 1,n\n"
+        "1 C(1,k) = A(1,k) + B(1,k)\n"
+    )
+
+    def _compiled(self, stride):
+        return compile_kernel(
+            self.STRIDED.format(s=stride), f"strided{stride}"
+        )
+
+    def test_equals_macs_on_clean_strides(self, compiled_kernels):
+        """All ten LFKs are bank-conflict-free: MACS-D == MACS."""
+        for name, compiled in compiled_kernels.items():
+            base = macs_bound(compiled.program)
+            dbound = macs_d_bound(compiled.program)
+            assert dbound.cpl == pytest.approx(base.cpl), name
+            assert dbound.conflicted_strides == ()
+
+    @pytest.mark.parametrize("stride,rate", [(8, 2.0), (16, 4.0),
+                                             (32, 8.0)])
+    def test_power_of_two_strides_scale(self, stride, rate):
+        compiled = self._compiled(stride)
+        dbound = macs_d_bound(compiled.program)
+        base = macs_bound(compiled.program)
+        assert dbound.worst_stream_rate == rate
+        assert dbound.cpl == pytest.approx(base.cpl * rate, rel=0.05)
+        assert stride in dbound.conflicted_strides
+
+    def test_allocation_penalty(self):
+        compiled = self._compiled(32)
+        dbound = macs_d_bound(compiled.program)
+        assert dbound.allocation_penalty_cpl == pytest.approx(
+            dbound.cpl - dbound.macs_cpl
+        )
+        assert dbound.allocation_penalty_cpl > 20.0
+
+    def test_unit_stride_no_penalty(self):
+        compiled = self._compiled(1)
+        dbound = macs_d_bound(compiled.program)
+        assert dbound.allocation_penalty_cpl == pytest.approx(0.0)
+
+
+class TestAdvisor:
+    def test_lfk1_flags_compiler_reload(self, workload_analyses):
+        items = advise(workload_analyses["lfk1"])
+        assert any(
+            a.target is AdviceTarget.COMPILER
+            and "reload" in a.summary for a in items
+        )
+
+    def test_lfk8_flags_chime_splits(self, workload_analyses):
+        items = advise(workload_analyses["lfk8"])
+        top = items[0]
+        assert top.target is AdviceTarget.SCHEDULER
+        assert "scalar memory" in top.summary
+        assert top.estimated_savings_cpl > 5.0
+
+    def test_lfk2_flags_short_vectors(self, workload_analyses):
+        items = advise(workload_analyses["lfk2"])
+        assert any(
+            a.target is AdviceTarget.APPLICATION
+            and "longer vectors" in a.summary for a in items
+        )
+
+    def test_advice_sorted_by_payoff(self, workload_analyses):
+        for analysis in workload_analyses.values():
+            items = advise(analysis)
+            savings = [a.estimated_savings_cpl for a in items]
+            assert savings == sorted(savings, reverse=True)
+
+    def test_savings_bounded_by_measured_time(self, workload_analyses):
+        for analysis in workload_analyses.values():
+            for advice in advise(analysis):
+                assert 0 < advice.estimated_savings_cpl <= \
+                    analysis.t_p_cpl
+
+    def test_report_renders(self, workload_analyses):
+        text = advise_report(workload_analyses["lfk8"])
+        assert "LFK8" in text
+        assert "est." in text
+
+    def test_render_with_percentage(self, workload_analyses):
+        analysis = workload_analyses["lfk1"]
+        advice = advise(analysis)[0]
+        text = advice.render(analysis.t_p_cpl)
+        assert "% of run time" in text

@@ -1,0 +1,74 @@
+"""The §3.5 LFK1 walkthrough, checked number by number."""
+
+import pytest
+
+from repro import paperdata
+from repro.isa.timing import default_timing_table
+from repro.model import macs_bound, macs_f_bound, macs_m_bound
+from repro.model.macs import inner_loop_body
+from repro.schedule import partition_chimes
+
+
+class TestLFK1Walkthrough:
+    def test_four_chimes(self, lfk1_compiled):
+        partition = partition_chimes(
+            inner_loop_body(lfk1_compiled.program)
+        )
+        assert len(partition) == 4
+
+    def test_chime_cycle_counts(self, lfk1_compiled):
+        partition = partition_chimes(
+            inner_loop_body(lfk1_compiled.program)
+        )
+        timings = default_timing_table()
+        cycles = sorted(
+            c.cycles(128, timings) for c in partition.chimes
+        )
+        assert cycles == sorted(paperdata.PAPER_LFK1_CHIMES)
+
+    def test_total_527(self, lfk1_compiled):
+        partition = partition_chimes(
+            inner_loop_body(lfk1_compiled.program)
+        )
+        assert partition.total_cycles(128, refresh=False) == \
+            paperdata.PAPER_LFK1_TOTAL
+
+    def test_refresh_total(self, lfk1_compiled):
+        partition = partition_chimes(
+            inner_loop_body(lfk1_compiled.program)
+        )
+        assert partition.total_cycles(128) == pytest.approx(
+            paperdata.PAPER_LFK1_WITH_REFRESH
+        )
+
+    def test_t_macs_cpl(self, lfk1_compiled):
+        bound = macs_bound(lfk1_compiled.program)
+        assert bound.cpl == pytest.approx(
+            paperdata.PAPER_LFK1_T_MACS_CPL, abs=0.001
+        )
+
+    def test_t_macs_cpf(self, lfk1_compiled):
+        bound = macs_bound(lfk1_compiled.program)
+        assert bound.cpl / 5 == pytest.approx(0.840, abs=0.001)
+
+    def test_f_decomposition(self, lfk1_compiled):
+        """Paper Table 5: t_f'' = 3.04 (3 fp chimes + bubbles)."""
+        bound = macs_f_bound(lfk1_compiled.program)
+        assert bound.chime_count == 3
+        assert bound.cpl == pytest.approx(3.04, abs=0.01)
+
+    def test_m_decomposition(self, lfk1_compiled):
+        """Memory-only: 4 chimes, ~4.14-4.16 CPL with refresh."""
+        bound = macs_m_bound(lfk1_compiled.program)
+        assert bound.chime_count == 4
+        assert bound.cpl == pytest.approx(4.15, abs=0.03)
+
+    def test_merge_exceeds_components(self, lfk1_compiled):
+        macs = macs_bound(lfk1_compiled.program)
+        f = macs_f_bound(lfk1_compiled.program)
+        m = macs_m_bound(lfk1_compiled.program)
+        assert macs.cpl >= max(f.cpl, m.cpl) - 1e-9
+
+    def test_measured_slightly_above_bound(self, lfk1_analysis):
+        assert lfk1_analysis.t_p_cpl >= lfk1_analysis.macs.cpl
+        assert lfk1_analysis.percent_explained("macs") >= 95.0

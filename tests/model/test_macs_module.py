@@ -1,0 +1,48 @@
+"""MACS module error paths and small invariants."""
+
+import pytest
+
+from repro.errors import IsaError, ModelError
+from repro.isa import AsmBuilder, Immediate, sreg
+from repro.model import macs_bound, macs_f_bound, macs_m_bound
+from repro.model.macs import inner_loop_body
+
+
+def loopless_program():
+    b = AsmBuilder("flat")
+    b.mov(Immediate(1), sreg(0))
+    return b.build()
+
+
+class TestErrorPaths:
+    def test_loopless_program_rejected(self):
+        with pytest.raises(IsaError):
+            inner_loop_body(loopless_program())
+
+    def test_invalid_vl_rejected(self, lfk1_compiled):
+        with pytest.raises(ModelError):
+            macs_bound(lfk1_compiled.program, vl=0)
+
+
+class TestReducedBounds:
+    def test_f_bound_ignores_memory(self, lfk1_compiled):
+        bound = macs_f_bound(lfk1_compiled.program)
+        for chime in bound.partition.chimes:
+            assert not chime.has_memory_op
+
+    def test_m_bound_only_memory(self, lfk1_compiled):
+        bound = macs_m_bound(lfk1_compiled.program)
+        for chime in bound.partition.chimes:
+            assert all(
+                i.is_vector_memory for i in chime.instructions
+            )
+
+    def test_vl_scaling_monotone(self, lfk1_compiled):
+        small = macs_bound(lfk1_compiled.program, vl=32)
+        large = macs_bound(lfk1_compiled.program, vl=128)
+        # CPL per source iteration grows at small VL (bubbles amortize
+        # over fewer elements).
+        assert small.cpl > large.cpl
+
+    def test_chime_count_property(self, lfk1_compiled):
+        assert macs_bound(lfk1_compiled.program).chime_count == 4

@@ -1,0 +1,112 @@
+"""Property-based tests of the chime partitioner's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Instruction, MemRef, areg, sreg, vreg
+from repro.isa.instructions import Pipe
+from repro.isa.timing import default_timing_table
+from repro.schedule import ChimeRules, partition_chimes
+
+
+@st.composite
+def random_instruction(draw):
+    kind = draw(st.sampled_from(
+        ["load", "store", "add", "sub", "mul", "neg",
+         "scalar_alu", "scalar_load"]
+    ))
+    v = lambda: vreg(draw(st.integers(0, 7)))
+    if kind == "load":
+        return Instruction("ld", (MemRef(areg(5)), v()), suffix="l")
+    if kind == "store":
+        return Instruction("st", (v(), MemRef(areg(5))), suffix="l")
+    if kind == "neg":
+        return Instruction("neg", (v(), v()), suffix="d")
+    if kind == "scalar_alu":
+        return Instruction("add", (sreg(0), sreg(1), sreg(2)),
+                           suffix="w")
+    if kind == "scalar_load":
+        return Instruction("ld", (MemRef(areg(0)), sreg(1)), suffix="l")
+    return Instruction(kind, (v(), v(), v()), suffix="d")
+
+
+instruction_lists = st.lists(random_instruction(), min_size=1,
+                             max_size=30)
+
+
+@given(instruction_lists)
+@settings(max_examples=100)
+def test_every_vector_instruction_in_exactly_one_chime(instructions):
+    partition = partition_chimes(instructions)
+    total = sum(len(c) for c in partition.chimes)
+    assert total == sum(1 for i in instructions if i.is_vector)
+
+
+@given(instruction_lists)
+@settings(max_examples=100)
+def test_chime_structural_rules(instructions):
+    partition = partition_chimes(instructions)
+    for chime in partition.chimes:
+        assert 1 <= len(chime) <= 3
+        pipes = [i.pipe for i in chime.instructions]
+        assert len(pipes) == len(set(pipes))
+        # Register-pair constraints (2 reads / 1 write per pair).
+        writes = {}
+        reads = {}
+        for instr in chime.instructions:
+            for reg in instr.vector_writes:
+                writes[reg.pair_index] = writes.get(
+                    reg.pair_index, 0) + 1
+            for operand in instr.sources:
+                if getattr(operand, "is_vector", False):
+                    reads[operand.pair_index] = reads.get(
+                        operand.pair_index, 0) + 1
+        assert all(count <= 1 for count in writes.values())
+        assert all(count <= 2 for count in reads.values())
+
+
+@given(instruction_lists)
+@settings(max_examples=100)
+def test_order_preserved(instructions):
+    partition = partition_chimes(instructions)
+    flattened = [
+        instr for chime in partition.chimes
+        for instr in chime.instructions
+    ]
+    assert flattened == [i for i in instructions if i.is_vector]
+
+
+@given(instruction_lists)
+@settings(max_examples=50)
+def test_relaxed_rules_never_increase_chimes(instructions):
+    strict = partition_chimes(instructions)
+    relaxed = partition_chimes(
+        instructions,
+        ChimeRules(enforce_register_pairs=False,
+                   scalar_memory_splits=False),
+    )
+    assert len(relaxed) <= len(strict)
+
+
+@given(instruction_lists)
+@settings(max_examples=50)
+def test_cost_positive_and_bubble_monotone(instructions):
+    partition = partition_chimes(instructions)
+    if not partition.chimes:
+        return
+    timings = default_timing_table()
+    with_bubbles = partition.total_cycles(128, timings)
+    without = partition.total_cycles(
+        128, timings.without_bubbles()
+    )
+    assert with_bubbles >= without > 0
+
+
+@given(instruction_lists, st.integers(1, 128))
+@settings(max_examples=50)
+def test_cost_scales_with_vl(instructions, vl):
+    partition = partition_chimes(instructions)
+    if not partition.chimes:
+        return
+    small = partition.total_cycles(vl, refresh=False)
+    big = partition.total_cycles(vl + 1, refresh=False)
+    assert big >= small

@@ -1,0 +1,84 @@
+"""Property test: assembly printing and parsing are inverse."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    Immediate,
+    Instruction,
+    MemRef,
+    areg,
+    format_instruction,
+    parse_instruction,
+    sreg,
+    vreg,
+)
+
+registers = st.one_of(
+    st.integers(0, 7).map(areg),
+    st.integers(0, 7).map(sreg),
+    st.integers(0, 7).map(vreg),
+)
+
+memrefs = st.builds(
+    MemRef,
+    base=st.integers(0, 7).map(areg),
+    displacement=st.integers(-4096, 4096).map(lambda v: v * 8),
+    symbol=st.one_of(st.none(), st.sampled_from(["x", "space1", "PX"])),
+    stride_words=st.sampled_from([-8, -1, 0, 1, 2, 5, 25, 64]),
+)
+
+
+@st.composite
+def instructions(draw):
+    kind = draw(st.sampled_from(
+        ["vld", "vst", "alu3", "alu2", "neg", "sum", "mov", "cmp"]
+    ))
+    reg = lambda: draw(registers)
+    v = lambda: vreg(draw(st.integers(0, 7)))
+    if kind == "vld":
+        return Instruction("ld", (draw(memrefs), v()), suffix="l")
+    if kind == "vst":
+        return Instruction("st", (v(), draw(memrefs)), suffix="l")
+    if kind == "alu3":
+        mnemonic = draw(st.sampled_from(["add", "sub", "mul", "div"]))
+        return Instruction(mnemonic, (v(), v(), v()), suffix="d")
+    if kind == "alu2":
+        mnemonic = draw(st.sampled_from(["add", "sub", "mul"]))
+        return Instruction(
+            mnemonic,
+            (Immediate(draw(st.integers(-10_000, 10_000))), reg()),
+            suffix="w",
+        )
+    if kind == "neg":
+        return Instruction("neg", (v(), v()), suffix="d")
+    if kind == "sum":
+        return Instruction(
+            "sum", (v(), sreg(draw(st.integers(0, 7)))), suffix="d"
+        )
+    if kind == "mov":
+        return Instruction(
+            "mov",
+            (Immediate(draw(st.integers(-100, 100))), reg()),
+            suffix="w",
+        )
+    return Instruction(
+        "lt", (Immediate(draw(st.integers(-5, 5))), reg()), suffix="w"
+    )
+
+
+@settings(max_examples=200)
+@given(instructions())
+def test_format_parse_round_trip(instr):
+    reparsed = parse_instruction(format_instruction(instr).strip())
+    assert reparsed.mnemonic == instr.mnemonic
+    assert reparsed.suffix == instr.suffix
+    assert reparsed.operands == instr.operands
+
+
+@settings(max_examples=100)
+@given(instructions())
+def test_classification_survives_round_trip(instr):
+    reparsed = parse_instruction(format_instruction(instr).strip())
+    assert reparsed.is_vector == instr.is_vector
+    assert reparsed.pipe == instr.pipe
+    assert reparsed.is_vector_fp == instr.is_vector_fp

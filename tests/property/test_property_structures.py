@@ -1,0 +1,135 @@
+"""Property-based tests on core data structures and invariants."""
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.lang.analysis import LinearForm
+from repro.machine import MachineConfig, MemorySystem
+from repro.units import (
+    cpf_to_cpl,
+    cpf_to_mflops,
+    cpl_to_cpf,
+    mflops_to_cpf,
+    percent_of_bound,
+)
+
+# ----------------------------------------------------------------------
+# LinearForm algebra
+# ----------------------------------------------------------------------
+
+names = st.sampled_from(["i", "k", "lw", "m"])
+nonzero = st.integers(-50, 50).filter(lambda v: v != 0)
+forms = st.builds(
+    LinearForm,
+    const=st.integers(-1000, 1000),
+    coeffs=st.dictionaries(names, nonzero, max_size=3),
+)
+
+
+@given(forms, forms)
+def test_linear_add_commutes(a, b):
+    left = a.add(b)
+    right = b.add(a)
+    assert left.const == right.const
+    assert left.coeffs == right.coeffs
+
+
+@given(forms, st.integers(-20, 20))
+def test_scale_distributes_over_const(form, factor):
+    scaled = form.scale(factor)
+    assert scaled.const == form.const * factor
+    for name, coeff in form.coeffs.items():
+        assert scaled.coeffs.get(name, 0) == coeff * factor
+
+
+@given(forms)
+def test_negate_is_scale_minus_one(form):
+    negated = form.negate()
+    assert negated.const == -form.const
+    again = negated.negate()
+    assert again.const == form.const
+    assert again.coeffs == form.coeffs
+
+
+@given(forms, forms)
+def test_base_delta_antisymmetric(a, b):
+    delta = a.base_delta(b)
+    if delta is not None:
+        assert b.base_delta(a) == -delta
+
+
+@given(forms)
+def test_base_delta_self_is_zero(form):
+    assert form.base_delta(form) == 0
+
+
+# ----------------------------------------------------------------------
+# Memory bank rates
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(-200, 200))
+def test_stream_rate_bounds(stride):
+    memory = MemorySystem(64, MachineConfig())
+    rate = memory.stream_rate(stride)
+    assert 1.0 <= rate <= 8.0
+
+
+@given(st.integers(1, 200))
+def test_stream_rate_sign_invariant(stride):
+    memory = MemorySystem(64, MachineConfig())
+    assert memory.stream_rate(stride) == memory.stream_rate(-stride)
+
+
+@given(st.integers(0, 6))
+def test_power_of_two_strides_degrade_monotonically(power):
+    memory = MemorySystem(64, MachineConfig())
+    stride = 2 ** power
+    bigger = 2 ** (power + 1)
+    assert memory.stream_rate(stride) <= memory.stream_rate(bigger)
+
+
+@given(
+    st.floats(0.0, 100_000.0, allow_nan=False),
+    st.floats(0.0, 5_000.0, allow_nan=False),
+)
+def test_refresh_stall_nonnegative_and_bounded(start, span):
+    memory = MemorySystem(64, MachineConfig())
+    stall = memory.refresh_stall_for_stream(start, start + span)
+    assert stall >= 0.0
+    # At most one 8-cycle refresh per (400 - 8)-cycle stretch of work,
+    # plus the partial window at the start.
+    assert stall <= 8.0 * (span / 392.0 + 2.0)
+
+
+# ----------------------------------------------------------------------
+# Unit conversions
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.floats(0.01, 1000.0, allow_nan=False),
+    st.integers(1, 100),
+)
+def test_cpl_cpf_round_trip(cpl, flops):
+    assert cpf_to_cpl(cpl_to_cpf(cpl, flops), flops) == \
+        __import__("pytest").approx(cpl)
+
+
+@given(st.floats(0.01, 1000.0, allow_nan=False))
+def test_mflops_round_trip(cpf):
+    import pytest
+
+    assert mflops_to_cpf(cpf_to_mflops(cpf)) == pytest.approx(cpf)
+
+
+@given(
+    st.floats(0.0, 100.0, allow_nan=False),
+    st.floats(0.001, 100.0, allow_nan=False),
+)
+def test_percent_of_bound_scales(bound, measured):
+    percent = percent_of_bound(bound, measured)
+    assert percent >= 0.0
+    if bound <= measured:
+        assert percent <= 100.0 + 1e-9

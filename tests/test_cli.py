@@ -1,0 +1,49 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert "lfk1" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "lfk1"]) == 0
+        out = capsys.readouterr().out
+        assert "MACS hierarchy for LFK1" in out
+
+    def test_compile(self, capsys):
+        assert main(["compile", "lfk12"]) == 0
+        out = capsys.readouterr().out
+        assert "ld.l" in out and "vectorized" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "lfk12"]) == 0
+        out = capsys.readouterr().out
+        assert "CPF" in out
+        assert "verified" in out
+
+    def test_run_no_verify(self, capsys):
+        assert main(["run", "lfk12", "--no-verify"]) == 0
+        assert "verified" not in capsys.readouterr().out
+
+    def test_experiment_figure1(self, capsys):
+        assert main(["experiment", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "t_MACS" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "bogus"]) == 2
+
+    def test_unknown_kernel_reports_error(self, capsys):
+        assert main(["run", "lfk5"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,50 @@
+"""Exception taxonomy tests: one catchable root, informative messages."""
+
+import pytest
+
+import repro.errors as errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "IsaError", "AsmSyntaxError", "UnknownOpcodeError",
+            "OperandError", "RegisterError", "MachineError",
+            "SimulationError", "MemoryError_", "LangError", "LexError",
+            "ParseError", "SemanticError", "CompileError",
+            "VectorizationError", "RegisterAllocationError",
+            "ScheduleError", "ModelError", "WorkloadError",
+            "ExperimentError",
+        ],
+    )
+    def test_all_derive_from_repro_error(self, name):
+        exc_type = getattr(errors, name)
+        assert issubclass(exc_type, errors.ReproError)
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert not issubclass(errors.MemoryError_, MemoryError)
+
+    def test_asm_syntax_error_carries_line(self):
+        exc = errors.AsmSyntaxError("bad token", line_number=7)
+        assert "line 7" in str(exc)
+        assert exc.line_number == 7
+
+    def test_asm_syntax_error_without_line(self):
+        exc = errors.AsmSyntaxError("bad token")
+        assert exc.line_number is None
+
+    def test_lex_error_position(self):
+        exc = errors.LexError("bad char", 3, 14)
+        assert "3:14" in str(exc)
+
+    def test_parse_error_line(self):
+        exc = errors.ParseError("unexpected", line=9)
+        assert "line 9" in str(exc)
+
+    def test_one_catch_covers_whole_stack(self):
+        """A single except clause suffices at an API boundary."""
+        from repro.workloads import kernel
+
+        with pytest.raises(errors.ReproError):
+            kernel("nonexistent")

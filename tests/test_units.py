@@ -1,0 +1,76 @@
+"""Unit conversion tests."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.units import (
+    CLOCK_MHZ,
+    average_cpf,
+    cpf_to_mflops,
+    cpl_to_cpf,
+    cycles_per_vector_iteration,
+    cycles_to_seconds,
+    harmonic_mean_mflops,
+    percent_of_bound,
+    seconds_to_cycles,
+)
+
+
+class TestConversions:
+    def test_clock_rate(self):
+        assert CLOCK_MHZ == 25.0  # 40 ns
+
+    def test_cpl_to_cpf(self):
+        assert cpl_to_cpf(3.0, 5) == pytest.approx(0.6)  # LFK1 MA
+
+    def test_cpf_to_mflops(self):
+        assert cpf_to_mflops(1.0) == pytest.approx(25.0)
+
+    def test_paper_hmean(self):
+        """Table 4: average CPF 1.080 -> 23.15 MFLOPS."""
+        assert cpf_to_mflops(1.080) == pytest.approx(23.15, abs=0.01)
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean_mflops([1.0, 3.0]) == pytest.approx(
+            25.0 / 2.0
+        )
+
+    def test_cycles_seconds_round_trip(self):
+        assert seconds_to_cycles(cycles_to_seconds(1e6)) == \
+            pytest.approx(1e6)
+
+    def test_vector_iteration_normalization(self):
+        # 545.28 cycles for 128 source iterations.
+        assert cycles_per_vector_iteration(545.28, 128) == \
+            pytest.approx(545.28)
+
+    def test_percent_of_bound(self):
+        assert percent_of_bound(4.20, 4.26) == pytest.approx(
+            98.6, abs=0.1
+        )
+
+
+class TestValidation:
+    def test_zero_flops_rejected(self):
+        with pytest.raises(ModelError):
+            cpl_to_cpf(1.0, 0)
+
+    def test_negative_cpf_rejected(self):
+        with pytest.raises(ModelError):
+            cpf_to_mflops(-1.0)
+
+    def test_empty_average_rejected(self):
+        with pytest.raises(ModelError):
+            average_cpf([])
+
+    def test_nonpositive_cpf_in_average_rejected(self):
+        with pytest.raises(ModelError):
+            average_cpf([1.0, 0.0])
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ModelError):
+            cycles_per_vector_iteration(100.0, 0)
+
+    def test_zero_measured_rejected(self):
+        with pytest.raises(ModelError):
+            percent_of_bound(1.0, 0.0)

@@ -1,0 +1,58 @@
+"""Tests for LFK 5 and 11 — the recurrences the paper excluded."""
+
+import pytest
+
+from repro.workloads import EXCLUDED_KERNELS, compile_spec, run_kernel
+from repro.workloads.extra import LFK5, LFK11
+
+
+@pytest.fixture(scope="module")
+def excluded_runs():
+    runs = {}
+    for spec in EXCLUDED_KERNELS:
+        runs[spec.name] = run_kernel(spec, verify=True)
+    return runs
+
+
+class TestRejection:
+    @pytest.mark.parametrize(
+        "spec", EXCLUDED_KERNELS, ids=lambda s: s.name
+    )
+    def test_vectorization_rejected_as_recurrence(self, spec):
+        compiled = compile_spec(spec)
+        plan = compiled.loops[0]
+        assert not plan.vectorized
+        assert "recurrence" in plan.reason
+
+    @pytest.mark.parametrize(
+        "spec", EXCLUDED_KERNELS, ids=lambda s: s.name
+    )
+    def test_ivdep_would_not_be_claimed(self, spec):
+        """The rejection is a *proven* dependence, not an unknown."""
+        assert "unknown" not in compile_spec(spec).loops[0].reason
+
+
+class TestScalarFallbackCorrectness:
+    def test_lfk5_matches_serial_reference(self, excluded_runs):
+        excluded_runs["lfk5"].verify()
+
+    def test_lfk11_prefix_sum(self, excluded_runs):
+        excluded_runs["lfk11"].verify()
+
+    def test_no_vector_instructions_executed(self, excluded_runs):
+        for run in excluded_runs.values():
+            assert run.result.vector_instructions == 0
+
+
+class TestWhyThePaperSkippedThem:
+    def test_order_of_magnitude_slower_than_vector_kernels(
+        self, excluded_runs, kernel_runs
+    ):
+        vector_worst = max(r.cpf() for r in kernel_runs.values())
+        for run in excluded_runs.values():
+            assert run.cpf() > 3.0 * vector_worst
+
+    def test_specs_well_formed(self):
+        assert LFK5.number == 5 and LFK11.number == 11
+        for spec in EXCLUDED_KERNELS:
+            assert sum(spec.trip_profile) == spec.inner_iterations

@@ -1,0 +1,80 @@
+"""Synthetic loop generator tests (deterministic part)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.machine import Simulator
+from repro.workloads import GeneratedLoop, generate_loop
+
+
+def run_generated(generated: GeneratedLoop, data_seed=1234):
+    compiled = compile_kernel(generated.source, "generated")
+    sim = Simulator(compiled.program)
+    data = generated.make_data(random.Random(data_seed))
+    for name, values in compiled.initial_data(data).items():
+        sim.load_symbol(name, values)
+    sim.memory.load_array(
+        compiled.scalar_word_offset("n"),
+        np.asarray([float(generated.n)]),
+    )
+    for name, value in generated.scalars.items():
+        sim.memory.load_array(
+            compiled.scalar_word_offset(name), np.asarray([value])
+        )
+    sim.run()
+    return compiled, sim, data
+
+
+class TestDeterminism:
+    def test_same_seed_same_loop(self):
+        assert generate_loop(7).source == generate_loop(7).source
+
+    def test_different_seeds_differ(self):
+        sources = {generate_loop(seed).source for seed in range(20)}
+        assert len(sources) > 10
+
+
+class TestGeneratedShapes:
+    def test_source_parses_and_compiles(self):
+        for seed in range(10):
+            generated = generate_loop(seed)
+            compiled = compile_kernel(generated.source, f"g{seed}")
+            assert compiled.loops
+
+    def test_reduction_flag_consistent(self):
+        for seed in range(40):
+            generated = generate_loop(seed)
+            if generated.is_reduction:
+                assert generated.output_array is None
+                assert "ACC" in generated.source
+                return
+        pytest.fail("no reduction generated in 40 seeds")
+
+    def test_reductions_can_be_disabled(self):
+        for seed in range(40):
+            assert not generate_loop(
+                seed, allow_reduction=False
+            ).is_reduction
+
+
+@pytest.mark.parametrize("seed", range(12))
+class TestAgainstReference:
+    def test_matches_numpy(self, seed):
+        generated = generate_loop(seed)
+        compiled, sim, data = run_generated(generated)
+        expected = generated.reference(data)
+        if generated.is_reduction:
+            actual = float(
+                sim.memory.dump_array(
+                    compiled.scalar_word_offset("ACC"), 1
+                )[0]
+            )
+            assert np.isclose(actual, expected, rtol=1e-9)
+        else:
+            out = sim.dump_symbol(generated.output_array)
+            assert np.allclose(
+                out[4 : 4 + generated.n], expected, rtol=1e-9
+            )
