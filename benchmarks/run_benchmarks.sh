@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate the committed benchmark baseline.
+#
+# Runs the per-kernel simulation benchmarks under pytest-benchmark and
+# writes the machine-readable results to BENCH_kernels.json at the
+# repository root.  Extra arguments are passed through to pytest, e.g.
+#
+#   benchmarks/run_benchmarks.sh -k lfk1
+#   benchmarks/run_benchmarks.sh benchmarks/   # the whole suite
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+targets=(benchmarks/test_bench_kernels.py)
+passthrough=()
+for arg in "$@"; do
+    case "$arg" in
+        benchmarks/*) targets=("$arg") ;;
+        *) passthrough+=("$arg") ;;
+    esac
+done
+
+PYTHONPATH=src python -m pytest "${targets[@]}" \
+    --benchmark-json=BENCH_kernels.json \
+    ${passthrough[@]+"${passthrough[@]}"}
+echo "wrote BENCH_kernels.json"

@@ -14,12 +14,20 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .errors import ReproError
 from .experiments import EXPERIMENTS
 from .isa.printer import format_program
-from .model import analyze_kernel
-from .workloads import compile_spec, kernel, kernel_names, run_kernel
+from .machine import DEFAULT_CONFIG
+from .model import analyze_kernel, macs_bound
+from .workloads import (
+    clear_caches,
+    compile_spec,
+    kernel,
+    kernel_names,
+    run_kernel,
+)
 
 
 def _cmd_list(_args) -> int:
@@ -95,7 +103,24 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    run = run_kernel(args.kernel, verify=not args.no_verify)
+    config = DEFAULT_CONFIG
+    if args.no_fastpath:
+        config = config.without_fastpath()
+    spec = kernel(args.kernel)
+    if args.profile:
+        clear_caches()
+        t0 = time.perf_counter()
+        compiled = compile_spec(spec)
+        t1 = time.perf_counter()
+        run = run_kernel(
+            spec, config=config, compiled=compiled,
+            verify=not args.no_verify,
+        )
+        t2 = time.perf_counter()
+        macs_bound(compiled.program)
+        t3 = time.perf_counter()
+    else:
+        run = run_kernel(spec, config=config, verify=not args.no_verify)
     result = run.result
     print(f"kernel          : {run.spec.name} ({run.spec.title})")
     print(f"cycles          : {result.cycles:.0f}")
@@ -107,6 +132,32 @@ def _cmd_run(args) -> int:
     print(f"MFLOPS          : {result.mflops:.2f}")
     if not args.no_verify:
         print("outputs verified against the NumPy reference")
+    if args.profile:
+        print("profile:")
+        print(f"  compile         : {1e3 * (t1 - t0):8.2f} ms")
+        print(f"  simulate        : {1e3 * (t2 - t1):8.2f} ms")
+        print(f"  model (MACS)    : {1e3 * (t3 - t2):8.2f} ms")
+        stats = result.fastpath
+        if stats is None:
+            print("  fast path       : disabled")
+        else:
+            print(
+                f"  fast path       : {stats.loops_detected} loops, "
+                f"{stats.engagements} engagements "
+                f"({stats.analytic_engagements} analytic, "
+                f"{stats.replay_engagements} replay)"
+            )
+            print(
+                f"  skipped         : "
+                f"{stats.iterations_skipped} iterations, "
+                f"{stats.instructions_skipped} instructions"
+            )
+            if stats.declines:
+                reasons = ", ".join(
+                    f"{reason}={count}"
+                    for reason, count in sorted(stats.declines.items())
+                )
+                print(f"  declines        : {reasons}")
     return 0
 
 
@@ -162,6 +213,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--no-verify", action="store_true",
         help="skip output verification",
+    )
+    run_cmd.add_argument(
+        "--no-fastpath", action="store_true",
+        help="disable the steady-state fast path (pure interpreter)",
+    )
+    run_cmd.add_argument(
+        "--profile", action="store_true",
+        help="report per-phase wall time and fast-path statistics",
     )
     return parser
 

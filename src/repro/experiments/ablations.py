@@ -78,10 +78,9 @@ def run_ablation_refresh(
     """Measured run time with the memory refresh disabled."""
     rows = []
     for spec in CASE_STUDY_KERNELS:
-        compiled = compile_spec(spec)
-        base = run_kernel(spec, config=config, compiled=compiled).cpl()
+        base = run_kernel(spec, config=config).cpl()
         ablated = run_kernel(
-            spec, config=config.without_refresh(), compiled=compiled
+            spec, config=config.without_refresh()
         ).cpl()
         rows.append(AblationRow(spec.number, base, ablated))
     return ExperimentResult(

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from ..compiler import CompilerOptions, DEFAULT_OPTIONS
 from ..machine import DEFAULT_CONFIG, MachineConfig
-from ..workloads import CASE_STUDY_KERNELS, compile_spec, run_kernel
+from ..workloads import CASE_STUDY_KERNELS, run_kernel
 from .formatting import ExperimentResult, TextTable
 
 
@@ -33,11 +33,8 @@ def run_cache_study(
     )
     rows = []
     for spec in CASE_STUDY_KERNELS:
-        compiled = compile_spec(spec, options)
-        flat = run_kernel(spec, options, config, compiled=compiled)
-        cached = run_kernel(
-            spec, options, cached_config, compiled=compiled
-        )
+        flat = run_kernel(spec, options, config)
+        cached = run_kernel(spec, options, cached_config)
         stats = cached.result.scalar_cache
         change = 100.0 * (cached.cpf() / flat.cpf() - 1.0)
         table.add_row(

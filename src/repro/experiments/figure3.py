@@ -43,10 +43,7 @@ def run_figure3(
     chart_lines = []
     series = []
     for analysis in analyses:
-        loaded = run_kernel(
-            analysis.spec, options, loaded_config,
-            compiled=analysis.compiled,
-        )
+        loaded = run_kernel(analysis.spec, options, loaded_config)
         single_cpf = analysis.to_cpf(analysis.t_p_cpl)
         multi_cpf = loaded.cpf()
         degradation = 100.0 * (multi_cpf / single_cpf - 1.0)

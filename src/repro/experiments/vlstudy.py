@@ -20,7 +20,7 @@ import dataclasses
 from ..compiler import CompilerOptions, DEFAULT_OPTIONS
 from ..errors import ExperimentError
 from ..machine import DEFAULT_CONFIG, MachineConfig
-from ..workloads import compile_spec, kernel, run_kernel
+from ..workloads import kernel, run_kernel
 from .formatting import ExperimentResult, TextTable
 
 #: Problem sizes swept (source iterations).
@@ -74,11 +74,10 @@ def run_vector_length_study(
     curves = {}
     for name in kernels:
         base = kernel(name)
-        compiled = compile_spec(base, options)
         points = []
         for n in SWEEP_SIZES:
             spec = _sized_spec(base, n)
-            run = run_kernel(spec, options, config, compiled=compiled)
+            run = run_kernel(spec, options, config)
             points.append((n, run.cpf()))
         n_half = n_half_from_curve(points)
         curves[name] = {"points": points, "n_half": n_half}

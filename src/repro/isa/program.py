@@ -115,6 +115,10 @@ class Program:
         self.name = name
         self._labels = self._index_labels(self._instructions)
         self._check_branch_targets()
+        self._branch_targets = self._index_branch_targets()
+        #: per-instance cache slot for the simulator's decoded form (see
+        #: :func:`repro.machine.semantics.decode_program`)
+        self._decoded_cache = None
 
     @staticmethod
     def _index_labels(
@@ -158,9 +162,39 @@ class Program:
     def instructions(self) -> tuple[Instruction, ...]:
         return self._instructions
 
+    def _index_branch_targets(self) -> tuple[int, ...]:
+        """Per-pc resolved branch target (-1 for non-branches).
+
+        Precomputed once so the simulator's branch path is an array
+        index instead of a label-dictionary lookup per taken branch.
+        """
+        targets = []
+        for instr in self._instructions:
+            if instr.is_branch:
+                target = instr.operands[0]
+                assert isinstance(target, LabelRef)
+                targets.append(self._labels[target.name])
+            else:
+                targets.append(-1)
+        return tuple(targets)
+
     @property
     def labels(self) -> dict[str, int]:
         return dict(self._labels)
+
+    @property
+    def label_table(self) -> dict[str, int]:
+        """The internal label->pc table (read-only by convention).
+
+        Unlike :attr:`labels` this does not copy; hot paths (the
+        simulator) use it directly.
+        """
+        return self._labels
+
+    @property
+    def branch_targets(self) -> tuple[int, ...]:
+        """Resolved branch-target pc per instruction (-1 = not a branch)."""
+        return self._branch_targets
 
     def label_pc(self, label: str) -> int:
         try:

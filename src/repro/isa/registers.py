@@ -63,6 +63,11 @@ class Register:
     index: int = 0
 
     def __post_init__(self):
+        # registers key the simulator's per-cycle availability maps, so
+        # the (enum, int) hash is precomputed once
+        object.__setattr__(
+            self, "_hash", hash((self.rclass, self.index))
+        )
         if self.rclass.is_special:
             if self.index != 0:
                 raise RegisterError(
@@ -80,6 +85,9 @@ class Register:
                 f"register index {self.index} out of range for "
                 f"{self.rclass.name.lower()} file (0..{limit - 1})"
             )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def name(self) -> str:

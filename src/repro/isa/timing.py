@@ -138,6 +138,11 @@ class TimingTable:
             return NotImplemented
         return self._timings == other._timings
 
+    def __hash__(self) -> int:
+        # Tables are immutable; hashing by content lets MachineConfig
+        # (which embeds a table) key compile/run caches.
+        return hash(tuple(sorted(self._timings.items())))
+
     def __repr__(self) -> str:
         return f"TimingTable({sorted(self._timings)})"
 

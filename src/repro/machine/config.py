@@ -63,6 +63,9 @@ class MachineConfig:
     #: contention from other CPUs; 1.0 = idle machine.  A heavily loaded
     #: machine runs at one access per 56-64 ns => factor 1.4-1.6 (§4.2).
     memory_contention_factor: float = 1.0
+    #: Enable the steady-state loop fast path (cycle-exact; see
+    #: :mod:`repro.machine.fastpath`).  Off = pure interpretation.
+    fastpath: bool = True
     #: Vector instruction timing parameters (paper Table 1).
     timings: TimingTable = field(default_factory=default_timing_table)
 
@@ -124,6 +127,9 @@ class MachineConfig:
 
     def without_refresh(self) -> "MachineConfig":
         return self.replace(refresh_enabled=False)
+
+    def without_fastpath(self) -> "MachineConfig":
+        return self.replace(fastpath=False)
 
     def without_bubbles(self) -> "MachineConfig":
         return self.replace(

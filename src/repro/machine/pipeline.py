@@ -32,6 +32,7 @@ The model reproduces the paper's §3.3 behaviours:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..errors import SimulationError
 from ..isa.instructions import Instruction, Pipe
@@ -39,6 +40,16 @@ from ..isa.registers import Register, RegisterClass
 from .cache import ScalarCache
 from .config import MachineConfig
 from .memory import MemorySystem
+from .semantics import DecodedInstruction, decode_instruction
+
+#: Display order of the pipes, fixed for fingerprint stability.
+_PIPES = tuple(Pipe)
+
+
+@lru_cache(maxsize=4096)
+def _decoded_timing(instr: Instruction) -> DecodedInstruction:
+    """Layout-free decoded record (timing metadata only), cached."""
+    return decode_instruction(instr)
 
 
 @dataclass
@@ -121,6 +132,101 @@ class PipelineState:
             *self.pipe_input_free.values(),
         )
 
+    # ------------------------------------------------------------------
+    # Fast-path support: normalize / shift the absolute clocks
+    # ------------------------------------------------------------------
+
+    def absolute_clocks(self) -> list[float]:
+        """Every absolute time point held in the state (rates excluded)."""
+        clocks = [
+            self.issue_clock,
+            self.memory_port_free,
+            self.flag_ready,
+            self.last_complete,
+        ]
+        for p in _PIPES:
+            clocks.append(self.pipe_input_free[p])
+            clocks.append(self.pipe_reservation_free[p])
+        for stream in self.vector_streams.values():
+            clocks.append(stream.first)
+            clocks.append(stream.end)
+        for start, _rate in self.vector_last_read.values():
+            clocks.append(start)
+        clocks.extend(self.scalar_ready.values())
+        return clocks
+
+    def clock_fingerprint(self) -> tuple:
+        """State with all absolute clocks expressed relative to issue.
+
+        Two states with equal fingerprints behave identically up to a
+        pure time shift (provided the subtractions below were exact —
+        the fast path only trusts this after its dyadic grid guard).
+
+        Clocks at or below ``issue_clock`` are *inert*: ``issue_clock``
+        never decreases, and every future consultation of these clocks
+        is a ``max()`` against a dispatch point that is itself at least
+        ``issue_clock`` — so their exact values can never influence any
+        later timing decision.  They are clamped to an ``"old"`` marker
+        here; without the clamp, registers last touched before a loop
+        would drift relative to ``issue_clock`` forever and no two
+        boundary fingerprints could ever match.  The one consumer that
+        can reach *behind* ``issue_clock`` is the WAR hazard check,
+        which adds ``vl * reader_rate`` to a recorded read start, so
+        ``vector_last_read`` entries only become inert a full
+        ``rate * max_vl`` horizon below issue.
+        """
+        base = self.issue_clock
+        max_vl = float(self.config.max_vl)
+
+        def rel(v: float):
+            return "old" if v <= base else v - base
+
+        streams = []
+        for i, s in self.vector_streams.items():
+            if s.first <= base and s.end <= base:
+                streams.append((i, "old"))
+            else:
+                streams.append((i, s.first - base, s.rate, s.end - base))
+        reads = []
+        for i, (start, rate) in self.vector_last_read.items():
+            if start <= base - max(1.0, rate * max_vl):
+                reads.append((i, "old", rate))
+            else:
+                reads.append((i, start - base, rate))
+        return (
+            tuple(rel(self.pipe_input_free[p]) for p in _PIPES),
+            tuple(rel(self.pipe_reservation_free[p]) for p in _PIPES),
+            rel(self.memory_port_free),
+            rel(self.flag_ready),
+            rel(self.last_complete),
+            tuple(streams),
+            tuple(reads),
+            tuple(
+                sorted(
+                    ((r.rclass.value, r.index), t - base)
+                    for r, t in self.scalar_ready.items()
+                    if t > base
+                )
+            ),
+        )
+
+    def shift_clocks(self, delta: float) -> None:
+        """Advance every absolute clock by ``delta`` cycles."""
+        self.issue_clock += delta
+        for p in _PIPES:
+            self.pipe_input_free[p] += delta
+            self.pipe_reservation_free[p] += delta
+        self.memory_port_free += delta
+        self.flag_ready += delta
+        self.last_complete += delta
+        for stream in self.vector_streams.values():
+            stream.first += delta
+            stream.end += delta
+        for i, (start, rate) in self.vector_last_read.items():
+            self.vector_last_read[i] = (start + delta, rate)
+        for reg in self.scalar_ready:
+            self.scalar_ready[reg] += delta
+
 
 class TimingModel:
     """Applies per-instruction timing rules to a :class:`PipelineState`."""
@@ -134,30 +240,40 @@ class TimingModel:
     # ------------------------------------------------------------------
 
     def _scalar_operand_ready(
-        self, state: PipelineState, instr: Instruction
+        self, state: PipelineState, d: DecodedInstruction
     ) -> float:
         ready = 0.0
-        for reg in instr.reads:
-            if not reg.is_vector:
-                ready = max(ready, state.scalar_ready_time(reg))
+        scalar_ready = state.scalar_ready
+        for reg in d.scalar_reads:
+            t = scalar_ready.get(reg, 0.0)
+            if t > ready:
+                ready = t
         return ready
 
     def time_vector(
         self, state: PipelineState, instr: Instruction, pc: int, vl: int
     ) -> InstructionTiming:
+        d = _decoded_timing(instr)
+        timing = self.config.timings.lookup(d.timing_key)
+        return self.time_vector_decoded(state, d, timing, pc, vl)
+
+    def time_vector_decoded(
+        self, state: PipelineState, d: DecodedInstruction, timing,
+        pc: int, vl: int, record: bool = True,
+    ) -> InstructionTiming | None:
         if vl <= 0:
             raise SimulationError(
-                f"pc {pc}: vector instruction {instr} executed with VL={vl}"
+                f"pc {pc}: vector instruction {d.instr} executed with "
+                f"VL={vl}"
             )
-        timing = self.config.timings.lookup(instr.timing_key)
-        pipe = instr.pipe
+        pipe = d.pipe
         assert pipe is not None
 
         # --- in-order dispatch; one-deep per-pipe reservation ----------
         dispatch = max(
             state.issue_clock,
             state.pipe_reservation_free[pipe],
-            self._scalar_operand_ready(state, instr),
+            self._scalar_operand_ready(state, d),
         )
         issue_done = dispatch + timing.x
         state.issue_clock = issue_done
@@ -165,17 +281,17 @@ class TimingModel:
         # --- element streaming start -----------------------------------
         constraints = [issue_done, state.pipe_input_free[pipe]]
         rate = timing.z
-        mem = instr.memory_operand
-        if mem is not None:
+        has_mem = d.mem_stride is not None
+        if has_mem:
             constraints.append(state.memory_port_free)
-            rate = max(rate, self.memory.stream_rate(mem.stride_words))
+            rate = max(rate, self.memory.stream_rate(d.mem_stride))
         source_streams: list[VectorStream] = []
-        for reg in instr.vector_reads:
-            stream = state.vector_streams[reg.index]
+        for idx in d.vector_read_idxs:
+            stream = state.vector_streams[idx]
             constraints.append(stream.first)
             source_streams.append(stream)
-        dest = instr.destination
-        if isinstance(dest, Register) and dest.is_vector:
+        dest = d.dest_reg
+        if d.dest_is_vector:
             # WAR: the writer's elements chase the reader's — element i
             # is overwritten at start + Y + i*rate and must land after
             # the reader consumed it at reader_start + i*reader_rate.
@@ -201,7 +317,7 @@ class TimingModel:
                 rate = max(rate, stream.rate)
 
         stream_span = timing.effective_vl(vl) * rate
-        if mem is not None:
+        if has_mem:
             stall = self.memory.refresh_stall_for_stream(
                 start, start + stream_span
             )
@@ -217,22 +333,24 @@ class TimingModel:
         # --- state updates ----------------------------------------------
         state.pipe_input_free[pipe] = start + stream_span
         state.pipe_reservation_free[pipe] = start
-        if mem is not None:
+        if has_mem:
             state.memory_port_free = start + stream_span
-        for reg in instr.vector_reads:
-            previous_start, _ = state.vector_last_read[reg.index]
+        for idx in d.vector_read_idxs:
+            previous_start, _ = state.vector_last_read[idx]
             if start >= previous_start:
-                state.vector_last_read[reg.index] = (start, rate)
-        if isinstance(dest, Register):
-            if dest.is_vector:
+                state.vector_last_read[idx] = (start, rate)
+        if dest is not None:
+            if d.dest_is_vector:
                 state.vector_streams[dest.index] = VectorStream(
                     first=first_result, rate=rate, end=complete
                 )
             else:  # reduction writes a scalar when all elements are in
                 state.set_scalar_ready(dest, complete)
         state.last_complete = max(state.last_complete, complete)
+        if not record:
+            return None
         return InstructionTiming(
-            pc, instr, dispatch, start, first_result, complete, vl, pipe
+            pc, d.instr, dispatch, start, first_result, complete, vl, pipe
         )
 
     # ------------------------------------------------------------------
@@ -244,21 +362,31 @@ class TimingModel:
         branch_taken: bool = False,
         word_address: int | None = None,
     ) -> InstructionTiming:
-        operand_ready = self._scalar_operand_ready(state, instr)
+        return self.time_scalar_decoded(
+            state, _decoded_timing(instr), pc, branch_taken, word_address
+        )
+
+    def time_scalar_decoded(
+        self, state: PipelineState, d: DecodedInstruction, pc: int,
+        branch_taken: bool = False,
+        word_address: int | None = None,
+        record: bool = True,
+    ) -> InstructionTiming | None:
+        operand_ready = self._scalar_operand_ready(state, d)
         # Reading a vector register scalar-wise (not modelled) is an error.
-        if instr.is_branch:
+        if d.is_branch:
             operand_ready = max(operand_ready, state.flag_ready)
         dispatch = max(state.issue_clock, operand_ready)
         issue = self.config.scalar_issue_cycles
 
-        if instr.touches_memory:
+        if d.touches_memory:
             # The single CPU<->memory port: wait for any vector stream
             # to drain, then take a one-cycle access slot (this is what
             # terminates chimes at scalar memory references, §3.3).
             start = max(dispatch, state.memory_port_free)
             start = self.memory.stall_scalar_access(start)
             state.memory_port_free = start + 1.0
-            if instr.mnemonic == "ld":
+            if d.mnemonic == "ld":
                 complete = start + self._scalar_load_latency(
                     state, word_address
                 )
@@ -275,14 +403,15 @@ class TimingModel:
             if branch_taken:
                 state.issue_clock += self.config.branch_taken_penalty
 
-        if instr.is_compare:
+        if d.is_compare:
             state.flag_ready = complete
-        for reg in instr.writes:
-            if not reg.is_vector:
-                state.set_scalar_ready(reg, complete)
+        for reg in d.scalar_writes:
+            state.set_scalar_ready(reg, complete)
         state.last_complete = max(state.last_complete, complete)
+        if not record:
+            return None
         return InstructionTiming(
-            pc, instr, dispatch, start, complete, complete,
+            pc, d.instr, dispatch, start, complete, complete,
             vl=0, pipe=None,
         )
 

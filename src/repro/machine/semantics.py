@@ -202,3 +202,494 @@ def execute_instruction(
     else:
         _execute_arithmetic(instr, regfile)
     return None
+
+
+# ======================================================================
+# Decoded (pre-classified) execution
+# ======================================================================
+#
+# ``Instruction`` computes every classification (``is_vector``, operand
+# sets, the opcode spec …) as a property, from scratch, on each access.
+# That is fine for analysis passes but dominates the simulator's inner
+# loop, which re-reads the same metadata millions of times.
+# :func:`decode_program` precomputes it once per program into plain
+# attribute records; :func:`execute_decoded` then applies exactly the
+# same value semantics as :func:`execute_instruction` — the float
+# operations and conversions are mirrored operation for operation, so
+# the two paths are bit-for-bit identical.
+
+#: Execution dispatch tags.
+T_LD_V = 0
+T_LD_S = 1
+T_ST_V = 2
+T_ST_S = 3
+T_ALU = 4
+T_NEG_V = 5
+T_NEG_S = 6
+T_SUM = 7
+T_MOV_VV = 8
+T_MOV = 9
+T_CMP = 10
+T_BR = 11
+T_BRS = 12
+T_LEGACY = 13  # anything decode does not specialize
+
+#: Scalar operand-location kinds (``(kind, payload)`` specs).
+K_IMM = 0
+K_A = 1
+K_S = 2
+K_VL = 3
+K_VS = 4
+
+#: ALU / compare operation codes.
+OP_ADD = 0
+OP_SUB = 1
+OP_MUL = 2
+OP_DIV = 3
+CMP_LT = 0
+CMP_LE = 1
+CMP_EQ = 2
+
+_ALU_OPS = {"add": OP_ADD, "sub": OP_SUB, "mul": OP_MUL, "div": OP_DIV}
+_CMP_OPS = {"lt": CMP_LT, "le": CMP_LE, "eq": CMP_EQ}
+
+
+class DecodedInstruction:
+    """Precomputed execution + classification record for one pc."""
+
+    __slots__ = (
+        "instr", "mnemonic", "tag",
+        # classification (mirrors the Instruction properties)
+        "is_vector", "is_vector_memory", "is_scalar_memory",
+        "touches_memory", "is_branch", "is_compare", "flop_count",
+        "timing_key", "pipe", "scalar_reads", "scalar_writes",
+        "vector_read_idxs", "dest_reg", "dest_is_vector", "mem_stride",
+        # execution operands
+        "base_idx", "offset", "stride",
+        "dest_vec_idx", "src_vec_idx", "src_spec", "dest_spec",
+        "alu_op", "lhs_spec", "rhs_spec", "alu_scalar_result",
+        "cmp_op", "target_pc", "branch_sense",
+    )
+
+    def __init__(self, instr: Instruction):
+        self.instr = instr
+        self.mnemonic = instr.mnemonic
+        self.tag = T_LEGACY
+        self.is_vector = instr.is_vector
+        self.is_vector_memory = instr.is_vector_memory
+        self.is_scalar_memory = instr.is_scalar_memory
+        self.touches_memory = instr.touches_memory
+        self.is_branch = instr.is_branch
+        self.is_compare = instr.is_compare
+        self.flop_count = instr.flop_count
+        self.timing_key = instr.timing_key
+        self.pipe = instr.pipe
+        self.scalar_reads = tuple(
+            r for r in instr.reads if not r.is_vector
+        )
+        self.scalar_writes = tuple(
+            r for r in instr.writes if not r.is_vector
+        )
+        self.vector_read_idxs = tuple(
+            sorted(r.index for r in instr.vector_reads)
+        )
+        dest = instr.destination
+        self.dest_reg = dest if isinstance(dest, Register) else None
+        self.dest_is_vector = (
+            self.dest_reg is not None and self.dest_reg.is_vector
+        )
+        mem = instr.memory_operand
+        self.mem_stride = mem.stride_words if mem is not None else None
+        self.base_idx = None
+        self.offset = None
+        self.stride = None
+        self.dest_vec_idx = None
+        self.src_vec_idx = None
+        self.src_spec = None
+        self.dest_spec = None
+        self.alu_op = None
+        self.lhs_spec = None
+        self.rhs_spec = None
+        self.alu_scalar_result = None
+        self.cmp_op = None
+        self.target_pc = -1
+        self.branch_sense = True
+
+
+def _scalar_spec(operand: Operand, floated: bool):
+    """``(kind, payload)`` locator for a scalar-valued operand.
+
+    With ``floated`` the immediate payload is pre-converted to float,
+    matching ``_vector_or_scalar``'s ``float(...)`` wrap; otherwise the
+    raw value is kept, matching ``_scalar_value``.
+    """
+    if isinstance(operand, Immediate):
+        return (K_IMM, float(operand.value) if floated else operand.value)
+    if isinstance(operand, Register):
+        cls = operand.rclass
+        if cls is RegisterClass.ADDRESS:
+            return (K_A, operand.index)
+        if cls is RegisterClass.SCALAR:
+            return (K_S, operand.index)
+        if cls is RegisterClass.VECTOR_LENGTH:
+            return (K_VL, 0)
+        if cls is RegisterClass.VECTOR_STRIDE:
+            return (K_VS, 0)
+    return None
+
+
+def _dest_spec(register: Register):
+    """``(kind, payload)`` locator for a scalar register destination."""
+    cls = register.rclass
+    if cls is RegisterClass.ADDRESS:
+        return (K_A, register.index)
+    if cls is RegisterClass.SCALAR:
+        return (K_S, register.index)
+    if cls is RegisterClass.VECTOR_LENGTH:
+        return (K_VL, 0)
+    if cls is RegisterClass.VECTOR_STRIDE:
+        return (K_VS, 0)
+    return None
+
+
+def fetch_scalar(spec, regfile: RegisterFile):
+    """Raw scalar operand value (mirror of ``_scalar_value``)."""
+    kind, payload = spec
+    if kind == K_IMM:
+        return payload
+    if kind == K_A:
+        return int(regfile.a[payload])
+    if kind == K_S:
+        return float(regfile.s[payload])
+    if kind == K_VL:
+        return regfile.vl
+    return regfile.vs
+
+
+def _fetch_float(spec, regfile: RegisterFile) -> float:
+    """Floated scalar ALU operand (mirror of ``_vector_or_scalar``)."""
+    kind, payload = spec
+    if kind == K_IMM:
+        return payload  # pre-floated at decode time
+    if kind == K_A:
+        return float(regfile.a[payload])
+    if kind == K_S:
+        return float(regfile.s[payload])
+    if kind == K_VL:
+        return float(regfile.vl)
+    return float(regfile.vs)
+
+
+def write_scalar(spec, regfile: RegisterFile, value) -> None:
+    """Scalar register write (mirror of ``RegisterFile.write``)."""
+    kind, payload = spec
+    if kind == K_A:
+        regfile.a[payload] = int(value)
+    elif kind == K_S:
+        regfile.s[payload] = float(value)
+    elif kind == K_VL:
+        regfile.vl = max(0, min(int(value), regfile.max_vl))
+    else:
+        regfile.vs = int(value)
+
+
+def _decode_memory(d: DecodedInstruction, instr: Instruction,
+                   layout: DataLayout) -> None:
+    mem = instr.memory_operand
+    assert mem is not None
+    offset = mem.displacement
+    if mem.symbol is not None:
+        offset += layout.lookup(mem.symbol).offset_bytes
+    d.base_idx = mem.base.index
+    d.offset = offset
+    d.stride = mem.stride_words
+    if instr.mnemonic == "ld":
+        dest = instr.operands[1]
+        if not isinstance(dest, Register):
+            return  # legacy path raises the proper error
+        if dest.is_vector:
+            d.tag = T_LD_V
+            d.dest_vec_idx = dest.index
+        else:
+            spec = _dest_spec(dest)
+            if spec is None:
+                return
+            d.tag = T_LD_S
+            d.dest_spec = spec
+    else:  # st
+        src = instr.operands[0]
+        if not isinstance(src, Register):
+            return
+        if src.is_vector:
+            d.tag = T_ST_V
+            d.src_vec_idx = src.index
+        else:
+            spec = _scalar_spec(src, floated=False)
+            if spec is None:
+                return
+            d.tag = T_ST_S
+            d.src_spec = spec
+
+
+def _decode_arithmetic(d: DecodedInstruction, instr: Instruction) -> None:
+    dest = instr.destination
+    if not isinstance(dest, Register):
+        return
+    if len(instr.operands) == 3:
+        lhs_op, rhs_op = instr.operands[0], instr.operands[1]
+    else:  # two-operand accumulate: dest is also the right-hand source
+        lhs_op, rhs_op = instr.operands[0], dest
+        if instr.mnemonic in ("sub", "div"):
+            lhs_op, rhs_op = rhs_op, lhs_op
+    specs = []
+    for op in (lhs_op, rhs_op):
+        if isinstance(op, Register) and op.is_vector:
+            specs.append(("v", op.index))
+        else:
+            spec = _scalar_spec(op, floated=True)
+            if spec is None:
+                return
+            specs.append(spec)
+    d.lhs_spec, d.rhs_spec = specs
+    d.alu_scalar_result = (
+        d.lhs_spec[0] != "v" and d.rhs_spec[0] != "v"
+    )
+    d.alu_op = _ALU_OPS.get(instr.mnemonic)
+    if d.alu_op is None:
+        return
+    if dest.is_vector:
+        d.dest_vec_idx = dest.index
+        d.dest_spec = None
+    else:
+        spec = _dest_spec(dest)
+        if spec is None:
+            return
+        d.dest_spec = spec
+    d.tag = T_ALU
+
+
+def decode_instruction(
+    instr: Instruction,
+    layout: DataLayout | None = None,
+    target_pc: int = -1,
+) -> DecodedInstruction:
+    """Build the decoded record for one instruction.
+
+    Without ``layout``, memory instructions keep the legacy execution
+    tag (symbol offsets cannot be resolved) but all classification /
+    timing fields are still valid.
+    """
+    d = DecodedInstruction(instr)
+    opclass = instr.spec.opclass
+    if opclass is OpClass.MEMORY:
+        if layout is not None:
+            _decode_memory(d, instr, layout)
+    elif opclass is OpClass.REDUCTION:
+        src, dest = instr.operands
+        if (
+            isinstance(src, Register) and src.is_vector
+            and isinstance(dest, Register)
+            and dest.rclass is RegisterClass.SCALAR
+        ):
+            d.tag = T_SUM
+            d.src_vec_idx = src.index
+            d.dest_spec = (K_S, dest.index)
+    elif opclass is OpClass.MOVE:
+        src, dest = instr.operands
+        if isinstance(dest, Register):
+            if (
+                isinstance(src, Register) and src.is_vector
+                and dest.is_vector
+            ):
+                d.tag = T_MOV_VV
+                d.src_vec_idx = src.index
+                d.dest_vec_idx = dest.index
+            elif not dest.is_vector:
+                spec = _scalar_spec(src, floated=False)
+                dspec = _dest_spec(dest)
+                if spec is not None and dspec is not None:
+                    d.tag = T_MOV
+                    d.src_spec = spec
+                    d.dest_spec = dspec
+    elif opclass is OpClass.COMPARE:
+        lhs = _scalar_spec(instr.operands[0], floated=False)
+        rhs = _scalar_spec(instr.operands[1], floated=False)
+        op = _CMP_OPS.get(instr.mnemonic)
+        if lhs is not None and rhs is not None and op is not None:
+            d.tag = T_CMP
+            d.lhs_spec = lhs
+            d.rhs_spec = rhs
+            d.cmp_op = op
+    elif opclass is OpClass.BRANCH:
+        d.target_pc = target_pc
+        if instr.mnemonic == "jbr":
+            d.tag = T_BR
+        else:
+            d.tag = T_BRS
+            d.branch_sense = instr.suffix == "t"
+    elif instr.mnemonic == "neg":
+        src, dest = instr.operands
+        if isinstance(src, Register) and isinstance(dest, Register):
+            if src.is_vector and dest.is_vector:
+                d.tag = T_NEG_V
+                d.src_vec_idx = src.index
+                d.dest_vec_idx = dest.index
+            elif not src.is_vector and not dest.is_vector:
+                spec = _scalar_spec(src, floated=False)
+                dspec = _dest_spec(dest)
+                if spec is not None and dspec is not None:
+                    d.tag = T_NEG_S
+                    d.src_spec = spec
+                    d.dest_spec = dspec
+    else:
+        _decode_arithmetic(d, instr)
+    return d
+
+
+#: Cross-program decode memo.  The A/X measurement codes and the chime
+#: calibration variants share ``Instruction`` objects with the programs
+#: they were filtered from; decoding is pure given the instruction, the
+#: layout's symbol offsets, and the branch target, so the records are
+#: shared too (they are immutable after decode).
+_DECODE_CACHE: dict = {}
+_DECODE_CACHE_MAX = 65536
+
+
+def decode_program(program) -> tuple[DecodedInstruction, ...]:
+    """Decoded records for every instruction, cached on the program."""
+    cached = getattr(program, "_decoded_cache", None)
+    if cached is not None:
+        return cached
+    layout = program.layout
+    layout_sig = tuple(
+        (s.name, s.offset_bytes) for s in layout.symbols()
+    )
+    targets = program.branch_targets
+    if len(_DECODE_CACHE) > _DECODE_CACHE_MAX:
+        _DECODE_CACHE.clear()
+    records = []
+    for pc, instr in enumerate(program):
+        key = (instr, layout_sig, targets[pc])
+        d = _DECODE_CACHE.get(key)
+        if d is None:
+            d = decode_instruction(instr, layout, targets[pc])
+            _DECODE_CACHE[key] = d
+        records.append(d)
+    decoded = tuple(records)
+    program._decoded_cache = decoded
+    return decoded
+
+
+def execute_decoded(
+    d: DecodedInstruction,
+    regfile: RegisterFile,
+    memory: MemorySystem,
+    layout: DataLayout,
+) -> bool:
+    """Apply one decoded instruction; return True when a branch is taken.
+
+    Value-for-value mirror of :func:`execute_instruction` — every float
+    operation and int/float conversion happens in the same order on the
+    same Python/NumPy types, so results are bit-for-bit identical.
+    """
+    tag = d.tag
+    if tag == T_ALU:
+        lhs_spec = d.lhs_spec
+        lhs = (
+            regfile.v[lhs_spec[1], : regfile.vl]
+            if lhs_spec[0] == "v" else _fetch_float(lhs_spec, regfile)
+        )
+        rhs_spec = d.rhs_spec
+        rhs = (
+            regfile.v[rhs_spec[1], : regfile.vl]
+            if rhs_spec[0] == "v" else _fetch_float(rhs_spec, regfile)
+        )
+        op = d.alu_op
+        if op == OP_ADD:
+            result = lhs + rhs
+        elif op == OP_SUB:
+            result = lhs - rhs
+        elif op == OP_MUL:
+            result = lhs * rhs
+        else:
+            result = lhs / rhs
+        if d.dest_vec_idx is not None:
+            vl = regfile.vl
+            if d.alu_scalar_result:
+                regfile.v[d.dest_vec_idx, :vl] = np.full(vl, float(result))
+            else:
+                regfile.v[d.dest_vec_idx, :vl] = result
+        else:
+            write_scalar(
+                d.dest_spec, regfile,
+                float(result) if d.alu_scalar_result
+                else float(np.asarray(result).flat[0]),
+            )
+        return False
+    if tag == T_LD_V:
+        address = int(regfile.a[d.base_idx]) + d.offset
+        vl = regfile.vl
+        regfile.v[d.dest_vec_idx, :vl] = memory.read_vector(
+            address, d.stride, vl
+        )
+        return False
+    if tag == T_ST_V:
+        address = int(regfile.a[d.base_idx]) + d.offset
+        memory.write_vector(
+            address, d.stride, regfile.v[d.src_vec_idx, : regfile.vl]
+        )
+        return False
+    if tag == T_LD_S:
+        address = int(regfile.a[d.base_idx]) + d.offset
+        write_scalar(d.dest_spec, regfile, memory.read_word(address))
+        return False
+    if tag == T_ST_S:
+        address = int(regfile.a[d.base_idx]) + d.offset
+        memory.write_word(
+            address, float(fetch_scalar(d.src_spec, regfile))
+        )
+        return False
+    if tag == T_MOV:
+        write_scalar(
+            d.dest_spec, regfile, fetch_scalar(d.src_spec, regfile)
+        )
+        return False
+    if tag == T_CMP:
+        lhs = fetch_scalar(d.lhs_spec, regfile)
+        rhs = fetch_scalar(d.rhs_spec, regfile)
+        op = d.cmp_op
+        if op == CMP_LT:
+            regfile.flag = lhs < rhs
+        elif op == CMP_LE:
+            regfile.flag = lhs <= rhs
+        else:
+            regfile.flag = lhs == rhs
+        return False
+    if tag == T_BRS:
+        return regfile.flag if d.branch_sense else not regfile.flag
+    if tag == T_BR:
+        return True
+    if tag == T_SUM:
+        regfile.s[d.dest_spec[1]] = float(
+            regfile.v[d.src_vec_idx, : regfile.vl].sum()
+        )
+        return False
+    if tag == T_MOV_VV:
+        vl = regfile.vl
+        regfile.v[d.dest_vec_idx, :vl] = regfile.v[
+            d.src_vec_idx, :vl
+        ].copy()
+        return False
+    if tag == T_NEG_V:
+        vl = regfile.vl
+        regfile.v[d.dest_vec_idx, :vl] = -regfile.v[d.src_vec_idx, :vl]
+        return False
+    if tag == T_NEG_S:
+        write_scalar(
+            d.dest_spec, regfile,
+            -fetch_scalar(d.src_spec, regfile),
+        )
+        return False
+    # Fallback: the reference interpreter (also raises the proper
+    # errors for malformed instructions).
+    return execute_instruction(d.instr, regfile, memory, layout) is not None

@@ -21,9 +21,10 @@ from ..errors import SimulationError
 from ..isa.program import Program
 from .cache import CacheStats
 from .config import DEFAULT_CONFIG, MachineConfig
+from .fastpath import FastPathEngine, FastPathStats
 from .memory import MemorySystem
 from .pipeline import InstructionTiming, PipelineState, TimingModel
-from .semantics import effective_address, execute_instruction
+from .semantics import decode_program, execute_decoded
 from .state import RegisterFile
 
 #: Default runaway guard (instruction executions, not cycles).
@@ -45,6 +46,8 @@ class SimulationResult:
     trace: list[InstructionTiming] = field(default_factory=list)
     #: populated when the scalar-cache model is enabled
     scalar_cache: CacheStats | None = None
+    #: populated when the steady-state fast path was armed for the run
+    fastpath: FastPathStats | None = None
 
     @property
     def mflops(self) -> float:
@@ -121,6 +124,21 @@ class Simulator:
         layout = program.layout
         state = PipelineState(self.config)
         model = TimingModel(self.config, memory)
+        decoded = decode_program(program)
+        timings = self.config.timings
+        vtimings = tuple(
+            timings.lookup(d.timing_key) if d.is_vector else None
+            for d in decoded
+        )
+
+        fast = None
+        stats = None
+        if self.config.fastpath and not record_trace:
+            stats = FastPathStats()
+            fast = FastPathEngine(
+                decoded, model, state, regfile, memory, stats,
+                max_instructions,
+            )
 
         trace: list[InstructionTiming] = []
         executed = 0
@@ -131,6 +149,7 @@ class Simulator:
         flops = 0
         pc = 0
         n_instructions = len(program)
+        cache = state.scalar_cache
 
         # A/X-transformed code computes on nonsense values by design
         # (§3.6); suppress IEEE warnings for the whole run.
@@ -141,36 +160,49 @@ class Simulator:
                         f"{program.name}: exceeded max_instructions="
                         f"{max_instructions} (runaway loop?)"
                     )
-                instr = program[pc]
-                taken_label = execute_instruction(
-                    instr, regfile, memory, layout
-                )
-                if instr.is_vector:
-                    timing = model.time_vector(state, instr, pc, regfile.vl)
+                d = decoded[pc]
+                taken = execute_decoded(d, regfile, memory, layout)
+                if d.is_vector:
+                    timing = model.time_vector_decoded(
+                        state, d, vtimings[pc], pc, regfile.vl,
+                        record=record_trace,
+                    )
                     vector_count += 1
-                    if instr.is_vector_memory:
+                    if d.is_vector_memory:
                         vector_memory += 1
-                    flops += instr.flop_count * regfile.vl
+                    flops += d.flop_count * regfile.vl
                 else:
                     word_address = None
-                    if instr.is_scalar_memory:
+                    if d.is_scalar_memory:
                         scalar_memory += 1
-                        if state.scalar_cache is not None:
-                            word_address = effective_address(
-                                instr.memory_operand, regfile, layout
+                        if cache is not None:
+                            word_address = (
+                                int(regfile.a[d.base_idx]) + d.offset
                             ) // 8
-                    timing = model.time_scalar(
-                        state, instr, pc,
-                        branch_taken=taken_label is not None,
+                    timing = model.time_scalar_decoded(
+                        state, d, pc,
+                        branch_taken=taken,
                         word_address=word_address,
+                        record=record_trace,
                     )
                     scalar_count += 1
                 if record_trace:
                     trace.append(timing)
                 executed += 1
-                if taken_label is not None:
-                    pc = program.label_pc(taken_label)
+                if taken:
+                    if fast is not None:
+                        skip = fast.on_branch(pc, True, executed)
+                        if skip is not None:
+                            executed += skip.instructions
+                            vector_count += skip.vector_instructions
+                            scalar_count += skip.scalar_instructions
+                            vector_memory += skip.vector_memory
+                            scalar_memory += skip.scalar_memory
+                            flops += skip.flops
+                    pc = d.target_pc
                 else:
+                    if fast is not None and d.is_branch:
+                        fast.on_branch(pc, False, executed)
                     pc += 1
 
         return SimulationResult(
@@ -187,6 +219,7 @@ class Simulator:
                 state.scalar_cache.stats
                 if state.scalar_cache is not None else None
             ),
+            fastpath=stats,
         )
 
 

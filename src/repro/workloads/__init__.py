@@ -29,7 +29,7 @@ from .lfk import (
 )
 from .extra import EXCLUDED_KERNELS, LFK5, LFK11
 from .generator import GeneratedLoop, generate_loop
-from .runner import KernelRun, compile_spec, prepare_simulator, run_kernel
+from .runner import KernelRun, clear_caches, compile_spec, prepare_simulator, run_kernel
 from .stencils import DAXPY, HEAT1D, SDOT_LONG, STENCIL_KERNELS, TRIDIAG_RHS, WAVE1D
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "MAWorkload",
     "STENCIL_KERNELS",
     "GeneratedLoop",
+    "clear_caches",
     "compile_spec",
     "generate_loop",
     "kernel",

@@ -5,10 +5,18 @@ data and scalar parameters into a simulator, runs it, and normalizes
 the cycle count to the paper's units (CPL per vectorized-loop iteration
 at VL = 128, and CPF).  Also verifies the outputs against the kernel's
 NumPy reference when the compilation is functionally exact.
+
+Both :func:`compile_spec` and :func:`run_kernel` memoize: the paper's
+experiments re-run the same (kernel, options, config) triples dozens of
+times across tables/figures, and everything here is deterministic, so
+compiled kernels and whole runs are shared.  Treat cached
+:class:`KernelRun` objects as read-only; :func:`clear_caches` resets
+both caches (useful when benchmarking the simulator itself).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,14 +27,48 @@ from ..machine import DEFAULT_CONFIG, MachineConfig, SimulationResult, Simulator
 from ..units import MAX_VL, cycles_per_vector_iteration
 from .lfk import KernelSpec, kernel
 
+#: LRU-bounded memo tables (compilation / whole-run).  Kernel sources
+#: are small and runs hold a few arrays each, so modest caps suffice.
+_COMPILE_CACHE: OrderedDict = OrderedDict()
+_COMPILE_CACHE_MAX = 512
+_RUN_CACHE: OrderedDict = OrderedDict()
+_RUN_CACHE_MAX = 256
+
+
+def clear_caches() -> None:
+    """Drop all memoized compilations, runs, and A/X measurements."""
+    _COMPILE_CACHE.clear()
+    _RUN_CACHE.clear()
+    from ..model import ax
+
+    ax._AX_CACHE.clear()
+
+
+def _cache_get(cache: OrderedDict, key):
+    hit = cache.get(key)
+    if hit is not None:
+        cache.move_to_end(key)
+    return hit
+
+
+def _cache_put(cache: OrderedDict, key, value, cap: int) -> None:
+    cache[key] = value
+    if len(cache) > cap:
+        cache.popitem(last=False)
+
 
 def compile_spec(
     spec: KernelSpec, options: CompilerOptions = DEFAULT_OPTIONS
 ) -> CompiledKernel:
-    """Compile a kernel spec with its required IVDEP setting."""
-    return compile_kernel(
-        spec.source, spec.name, options.replace(ivdep=spec.ivdep)
-    )
+    """Compile a kernel spec with its required IVDEP setting (memoized)."""
+    key = (spec.source, spec.name, spec.ivdep, options)
+    compiled = _cache_get(_COMPILE_CACHE, key)
+    if compiled is None:
+        compiled = compile_kernel(
+            spec.source, spec.name, options.replace(ivdep=spec.ivdep)
+        )
+        _cache_put(_COMPILE_CACHE, key, compiled, _COMPILE_CACHE_MAX)
+    return compiled
 
 
 @dataclass
@@ -123,6 +165,18 @@ def prepare_simulator(
     return sim
 
 
+def _spec_key(spec: KernelSpec) -> tuple:
+    """Content key for a spec (covers everything a run depends on)."""
+    return (
+        spec.name,
+        spec.source,
+        spec.ivdep,
+        tuple(sorted(spec.scalar_inputs.items())),
+        tuple(sorted(spec.array_seeds.items())),
+        id(spec.reference),
+    )
+
+
 def run_kernel(
     spec_or_name: KernelSpec | str | int,
     options: CompilerOptions = DEFAULT_OPTIONS,
@@ -130,13 +184,28 @@ def run_kernel(
     compiled: CompiledKernel | None = None,
     verify: bool = False,
 ) -> KernelRun:
-    """Compile (or reuse), load, and run one kernel on the simulator."""
+    """Compile (or reuse), load, and run one kernel on the simulator.
+
+    Whole runs are memoized on (spec content, options, config) — the
+    simulation is deterministic, so a repeat invocation returns the
+    previously computed :class:`KernelRun` (treat it as read-only).
+    Passing an explicit ``compiled`` kernel bypasses the run cache.
+    """
     spec = (
         spec_or_name
         if isinstance(spec_or_name, KernelSpec)
         else kernel(spec_or_name)
     )
+    key = None
     if compiled is None:
+        key = (_spec_key(spec), options, config)
+        hit = _cache_get(_RUN_CACHE, key)
+        if hit is not None:
+            run, verified = hit
+            if verify and not verified:
+                run.verify()
+                _RUN_CACHE[key] = (run, True)
+            return run
         compiled = compile_spec(spec, options)
     sim = prepare_simulator(spec, compiled, config)
     result = sim.run()
@@ -150,4 +219,6 @@ def run_kernel(
                     outputs=outputs)
     if verify:
         run.verify()
+    if key is not None:
+        _cache_put(_RUN_CACHE, key, (run, verify), _RUN_CACHE_MAX)
     return run
