@@ -1,0 +1,515 @@
+"""Lint checks over analyzed programs.
+
+Checker catalog (see ``docs/analysis.md``):
+
+=================  ========  ====================================================
+check id           severity  flags
+=================  ========  ====================================================
+``uninit-read``    ERROR     register read with no write on *any* path from entry
+                   WARNING   register read initialized on only *some* paths
+``vl-reset-read``  WARNING   vector instruction relying on the architectural VL
+                             reset value (no explicit VL write reaches it)
+``vl-clobber``     WARNING   VL rewritten between vector instructions of one
+                             basic block inside a loop
+``pair-conflict``  ERROR     a chime violating the one-instruction-per-pipe or
+                             two-reads/one-write-per-vector-pair rules (§3.3)
+``schedule``       ERROR     vector instruction outside the chime timing model
+                             (e.g. a vector ``mov``)
+``mem-overlap``    WARNING   vector load/store ranges through one address
+                             register that can collide within one strip
+                   INFO      store forwarded to a later same-address load, or a
+                             same-array access through a different base register
+``dead-store``     WARNING   register write whose value is never used
+``unreachable``    WARNING   code no path from entry reaches
+=================  ========  ====================================================
+
+Suppression: an instruction comment containing ``lint:ok <id>[,<id>…]``
+(or ``lint:ok all``) silences those checks at that instruction;
+:attr:`LintOptions.suppress` silences a check program-wide.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from ..errors import ScheduleError
+from ..isa.instructions import Instruction, Pipe
+from ..isa.operands import MemRef
+from ..isa.registers import Register, VECTOR_REGISTER_LENGTH, VL
+from ..isa.program import Program
+from ..schedule.chimes import Chime, ChimeRules, DEFAULT_RULES, partition_chimes
+from .cfg import CFG, Loop
+from .dataflow import DataflowResult, effective_reads, is_self_move
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; comparable (``ERROR > WARNING > INFO``)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; known: "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic, anchored to an instruction when possible."""
+
+    check: str
+    severity: Severity
+    message: str
+    pc: int | None = None
+    program: str = ""
+
+    def format(self) -> str:
+        location = (
+            f"{self.program}:{self.pc}" if self.pc is not None
+            else self.program
+        )
+        return (
+            f"{location}: {self.severity.name.lower()}: "
+            f"[{self.check}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "check": self.check,
+            "severity": self.severity.name.lower(),
+            "pc": self.pc,
+            "program": self.program,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class LintOptions:
+    """Configuration for one lint run."""
+
+    #: check ids silenced program-wide
+    suppress: frozenset[str] = frozenset()
+    #: chime rules used by the schedule-legality checks
+    chime_rules: ChimeRules = field(default_factory=lambda: DEFAULT_RULES)
+    #: hardware vector-length ceiling (memory-range width of vector ops)
+    max_vl: int = VECTOR_REGISTER_LENGTH
+    #: per-entry trip counts of the vectorized loop, when known; they
+    #: tighten the memory-overlap check (no strip can be longer than
+    #: the longest entry, so wider shifts are provably hazard-free)
+    trips: tuple[int, ...] | None = None
+
+    @property
+    def effective_max_vl(self) -> int:
+        """Largest strip length any entry can produce."""
+        if self.trips:
+            return min(self.max_vl, max(self.trips))
+        return self.max_vl
+
+
+DEFAULT_LINT_OPTIONS = LintOptions()
+
+_SUPPRESS_RE = re.compile(r"lint:ok\s+([A-Za-z0-9_,\- ]+)")
+
+
+def suppressed_checks(instr: Instruction) -> frozenset[str]:
+    """Check ids silenced by the instruction's comment directive."""
+    if not instr.comment:
+        return frozenset()
+    match = _SUPPRESS_RE.search(instr.comment)
+    if not match:
+        return frozenset()
+    return frozenset(
+        token.strip() for token in match.group(1).split(",") if token.strip()
+    )
+
+
+class _Checker:
+    """Shared state for one run of the whole checker suite."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        dataflow: DataflowResult,
+        options: LintOptions,
+    ):
+        self.cfg = cfg
+        self.dataflow = dataflow
+        self.options = options
+        self.program: Program = cfg.program
+        self.findings: list[Finding] = []
+        self._suppressions: tuple[frozenset[str], ...] = tuple(
+            suppressed_checks(instr) for instr in self.program
+        )
+
+    # ------------------------------------------------------------------
+
+    def emit(
+        self,
+        check: str,
+        severity: Severity,
+        message: str,
+        pc: int | None = None,
+    ) -> None:
+        if check in self.options.suppress:
+            return
+        if pc is not None:
+            local = self._suppressions[pc]
+            if check in local or "all" in local:
+                return
+        self.findings.append(
+            Finding(
+                check=check,
+                severity=severity,
+                message=message,
+                pc=pc,
+                program=self.program.name,
+            )
+        )
+
+    def _reachable_pcs(self) -> list[int]:
+        pcs: list[int] = []
+        for index in sorted(self.cfg.reachable):
+            pcs.extend(self.cfg.blocks[index].pcs())
+        return pcs
+
+    def _vector_loops(self) -> list[Loop]:
+        """Loops that are the innermost loop of some vector instruction."""
+        loops: list[Loop] = []
+        for pc in self._reachable_pcs():
+            if not self.program[pc].is_vector:
+                continue
+            loop = self.cfg.innermost_loop_of(
+                self.cfg.block_of(pc).index
+            )
+            if loop is not None and loop not in loops:
+                loops.append(loop)
+        return loops
+
+    # ------------------------------------------------------------------
+    # Register initialization
+    # ------------------------------------------------------------------
+
+    def check_uninit_reads(self) -> None:
+        for pc in self._reachable_pcs():
+            instr = self.program[pc]
+            for register in sorted(
+                effective_reads(instr), key=lambda r: r.name
+            ):
+                if register.rclass.is_special:
+                    continue  # VL/VS/VM have architectural reset values
+                if register in self.dataflow.definite_in[pc]:
+                    continue
+                defs = self.dataflow.defs_of_use(pc, register)
+                if not defs:
+                    self.emit(
+                        "uninit-read", Severity.ERROR,
+                        f"{instr.name} reads {register.name}, which is "
+                        "never written on any path from entry",
+                        pc,
+                    )
+                else:
+                    self.emit(
+                        "uninit-read", Severity.WARNING,
+                        f"{instr.name} reads {register.name}, which is "
+                        "written on only some paths "
+                        f"(defs at pc {sorted(defs)})",
+                        pc,
+                    )
+
+    def check_vl_reset_reads(self) -> None:
+        for pc in self._reachable_pcs():
+            instr = self.program[pc]
+            if not instr.is_vector:
+                continue
+            if VL in self.dataflow.definite_in[pc]:
+                continue
+            defs = self.dataflow.defs_of_use(pc, VL)
+            if not defs:
+                self.emit(
+                    "vl-reset-read", Severity.WARNING,
+                    f"{instr.name} relies on the architectural VL reset "
+                    "value (no explicit VL write reaches it)",
+                    pc,
+                )
+            else:
+                self.emit(
+                    "vl-reset-read", Severity.WARNING,
+                    f"{instr.name} sees an explicit VL only on some "
+                    f"paths (VL writes at pc {sorted(defs)})",
+                    pc,
+                )
+
+    def check_vl_clobbers(self) -> None:
+        for index in sorted(self.cfg.reachable):
+            if self.cfg.loop_depth(index) == 0:
+                continue
+            block = self.cfg.blocks[index]
+            seen_vector_op: int | None = None
+            for pc in block.pcs():
+                instr = self.program[pc]
+                if (
+                    VL in instr.writes
+                    and seen_vector_op is not None
+                ):
+                    self.emit(
+                        "vl-clobber", Severity.WARNING,
+                        "VL rewritten mid-block after the vector "
+                        f"instruction at pc {seen_vector_op}; later "
+                        "vector instructions run at a different length",
+                        pc,
+                    )
+                if instr.is_vector:
+                    seen_vector_op = pc
+        return
+
+    # ------------------------------------------------------------------
+    # Schedule legality
+    # ------------------------------------------------------------------
+
+    def check_schedule(self) -> None:
+        for pc in self._reachable_pcs():
+            instr = self.program[pc]
+            if instr.is_vector and instr.timing_key is None:
+                self.emit(
+                    "schedule", Severity.ERROR,
+                    f"vector instruction {instr.name} has no timing "
+                    "class and cannot be chime-scheduled",
+                    pc,
+                )
+
+    def check_pair_conflicts(self) -> None:
+        for loop in self._vector_loops():
+            pcs = self.cfg.loop_pcs(loop)
+            instructions = [self.program[pc] for pc in pcs]
+            if any(
+                i.is_vector and i.timing_key is None for i in instructions
+            ):
+                continue  # already reported by check_schedule
+            try:
+                partition = partition_chimes(
+                    instructions, self.options.chime_rules
+                )
+            except ScheduleError as exc:
+                self.emit(
+                    "schedule", Severity.ERROR, str(exc), pcs[0]
+                )
+                continue
+            for number, chime in enumerate(partition.chimes):
+                for message in _validate_chime(
+                    chime, self.options.chime_rules
+                ):
+                    self.emit(
+                        "pair-conflict", Severity.ERROR,
+                        f"chime {number} of loop at pc {pcs[0]}: "
+                        f"{message}",
+                        pcs[0],
+                    )
+
+    # ------------------------------------------------------------------
+    # Memory dependences
+    # ------------------------------------------------------------------
+
+    def check_memory_overlap(self) -> None:
+        for loop in self._vector_loops():
+            ops = [
+                (pc, self.program[pc])
+                for pc in self.cfg.loop_pcs(loop)
+                if self.program[pc].is_vector_memory
+            ]
+            for i, (pc_a, op_a) in enumerate(ops):
+                for pc_b, op_b in ops[i + 1:]:
+                    if not (op_a.is_vector_store or op_b.is_vector_store):
+                        continue  # read/read needs no ordering
+                    self._check_pair(pc_a, op_a, pc_b, op_b)
+
+    def _check_pair(
+        self, pc_a: int, op_a: Instruction, pc_b: int, op_b: Instruction
+    ) -> None:
+        mem_a = op_a.memory_operand
+        mem_b = op_b.memory_operand
+        assert mem_a is not None and mem_b is not None
+        if mem_a.symbol != mem_b.symbol:
+            return  # distinct data regions never alias
+        if mem_a.base != mem_b.base or (
+            self.dataflow.defs_of_use(pc_a, mem_a.base)
+            != self.dataflow.defs_of_use(pc_b, mem_b.base)
+        ):
+            self.emit(
+                "mem-overlap", Severity.INFO,
+                f"{_describe(op_a, mem_a)} and {_describe(op_b, mem_b)} "
+                f"touch {mem_a.symbol or 'memory'} through different "
+                "address registers; overlap cannot be excluded "
+                "statically",
+                pc_b,
+            )
+            return
+        # Same base register holding the same value: addresses are
+        # comparable element-wise.  Whole-vector execution runs each
+        # instruction over the full strip, so a dependence is violated
+        # only when the shifted iterations land in the *same* strip —
+        # shifts of effective_max_vl elements or more are safe.
+        vl_cap = self.options.effective_max_vl
+        if (
+            mem_a.displacement == mem_b.displacement
+            and mem_a.stride_words == mem_b.stride_words
+        ):
+            if op_a.is_vector_store and not op_b.is_vector_store:
+                self.emit(
+                    "mem-overlap", Severity.INFO,
+                    f"store at pc {pc_a} is reloaded at pc {pc_b} from "
+                    "the same addresses (compiler did not forward the "
+                    "register)",
+                    pc_b,
+                )
+            # load-then-store to the same addresses is the ordinary
+            # read-modify-write pattern; stores never pair with
+            # themselves at identical addresses in emitted code.
+            return
+        if mem_a.stride_words == mem_b.stride_words:
+            step = abs(mem_a.stride_words) * 8
+            if step == 0:
+                return  # distinct broadcast addresses never collide
+            shift_bytes = abs(mem_a.displacement - mem_b.displacement)
+            if shift_bytes % step != 0:
+                return  # disjoint residue classes interleave safely
+            shift = shift_bytes // step
+            if shift >= vl_cap:
+                return  # the shifted iterations cannot share a strip
+            self.emit(
+                "mem-overlap", Severity.WARNING,
+                f"{_describe(op_a, mem_a)} and {_describe(op_b, mem_b)} "
+                f"are {shift} elements apart through the same address "
+                f"register; a strip longer than {shift} elements "
+                "reorders the dependence (loop-carried hazard)",
+                pc_b,
+            )
+            return
+        if not _ranges_intersect(mem_a, mem_b, vl_cap):
+            return
+        self.emit(
+            "mem-overlap", Severity.WARNING,
+            f"{_describe(op_a, mem_a)} overlaps {_describe(op_b, mem_b)} "
+            "through the same address register (intersecting ranges "
+            "with different strides)",
+            pc_b,
+        )
+
+    # ------------------------------------------------------------------
+    # Dead code
+    # ------------------------------------------------------------------
+
+    def check_dead_stores(self) -> None:
+        for pc in self._reachable_pcs():
+            instr = self.program[pc]
+            if is_self_move(instr):
+                continue  # explicit no-op label anchors
+            dead = instr.writes - self.dataflow.live_out[pc]
+            for register in sorted(dead, key=lambda r: r.name):
+                self.emit(
+                    "dead-store", Severity.WARNING,
+                    f"{instr.name} writes {register.name}, but the "
+                    "value is never used",
+                    pc,
+                )
+
+    def check_unreachable(self) -> None:
+        for block in self.cfg.blocks:
+            if block.index in self.cfg.reachable:
+                continue
+            self.emit(
+                "unreachable", Severity.WARNING,
+                f"unreachable code: pc {block.start}..{block.end} "
+                "(no path from entry)",
+                block.start,
+            )
+
+
+def _describe(op: Instruction, mem: MemRef) -> str:
+    kind = "store" if op.is_vector_store else "load"
+    return f"{kind} {mem}"
+
+
+def _element_range(mem: MemRef, max_vl: int) -> tuple[int, int]:
+    """Inclusive byte range touched by a vector access of ``max_vl``
+    elements."""
+    step = mem.stride_words * 8
+    last = mem.displacement + step * (max_vl - 1)
+    low = min(mem.displacement, last)
+    high = max(mem.displacement, last) + 7
+    return low, high
+
+
+def _ranges_intersect(mem_a: MemRef, mem_b: MemRef, max_vl: int) -> bool:
+    low_a, high_a = _element_range(mem_a, max_vl)
+    low_b, high_b = _element_range(mem_b, max_vl)
+    return low_a <= high_b and low_b <= high_a
+
+
+def _validate_chime(chime: Chime, rules: ChimeRules) -> list[str]:
+    """Independent re-validation of one chime against the §3.3 rules."""
+    problems: list[str] = []
+    pipes_seen: dict[Pipe, int] = {}
+    pair_reads: dict[int, int] = {}
+    pair_writes: dict[int, int] = {}
+    for instr in chime.instructions:
+        pipe = instr.pipe
+        if pipe is not None:
+            pipes_seen[pipe] = pipes_seen.get(pipe, 0) + 1
+        for operand in instr.sources:
+            if isinstance(operand, Register) and operand.is_vector:
+                pair = operand.pair_index
+                pair_reads[pair] = pair_reads.get(pair, 0) + 1
+        for register in instr.vector_writes:
+            pair = register.pair_index
+            pair_writes[pair] = pair_writes.get(pair, 0) + 1
+    for pipe, count in pipes_seen.items():
+        if count > 1:
+            problems.append(
+                f"{count} instructions on the {pipe.value} pipe"
+            )
+    if rules.enforce_register_pairs:
+        for pair, count in pair_reads.items():
+            if count > 2:
+                problems.append(
+                    f"{count} reads of vector pair "
+                    f"{{v{pair},v{pair + 4}}}"
+                )
+        for pair, count in pair_writes.items():
+            if count > 1:
+                problems.append(
+                    f"{count} writes of vector pair "
+                    f"{{v{pair},v{pair + 4}}}"
+                )
+    return problems
+
+
+def run_checks(
+    cfg: CFG,
+    dataflow: DataflowResult,
+    options: LintOptions = DEFAULT_LINT_OPTIONS,
+) -> tuple[Finding, ...]:
+    """Run the full checker suite; findings sorted by severity then pc."""
+    checker = _Checker(cfg, dataflow, options)
+    checker.check_uninit_reads()
+    checker.check_vl_reset_reads()
+    checker.check_vl_clobbers()
+    checker.check_schedule()
+    checker.check_pair_conflicts()
+    checker.check_memory_overlap()
+    checker.check_dead_stores()
+    checker.check_unreachable()
+    return tuple(
+        sorted(
+            checker.findings,
+            key=lambda f: (-int(f.severity), f.pc if f.pc is not None else -1),
+        )
+    )

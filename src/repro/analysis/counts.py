@@ -1,0 +1,280 @@
+"""Static operation counting (the analyzer's differential oracle).
+
+Predicts, without running the simulator, the exact values of the
+simulator's ``vector_instructions``, ``vector_memory_ops``, and
+``flops`` counters for a compiled kernel, given only the per-entry trip
+counts of its vectorized loop (the ``trip_profile`` every
+:class:`~repro.workloads.lfk.KernelSpec` carries).
+
+The compiler emits one strip-mined vector loop per kernel: the loop
+body runs ``set_vl(counter)`` (VL = clamp(remaining)), the counter
+drops by the strip step each iteration, and any per-entry vector work
+(partial-sum zeroing, the final ``vsum``) sits outside the strip loop
+at a compile-time-constant VL.  That structure makes the counters a
+closed-form function of the trip profile:
+
+* a vector instruction in the strip loop executes once per strip —
+  ``sum(ceil(t / step))`` over entries — and a floating-point one
+  contributes ``sum(min(remaining, max_vl))`` element operations;
+* a vector instruction outside every loop executes once;
+* a vector instruction in an enclosing loop of the strip loop executes
+  once per entry.
+
+Any other shape (several distinct vector loops, a vector loop whose VL
+cannot be bounded statically) raises
+:class:`~repro.errors.AnalysisError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from ..isa.instructions import Instruction, OpClass
+from ..isa.registers import Register, VECTOR_REGISTER_LENGTH, VL
+from ..model.counts import OperationCounts, mac_counts
+from .cfg import CFG, Loop
+from .dataflow import DataflowResult
+
+
+@dataclass(frozen=True)
+class StripInfo:
+    """The strip-mined vector loop of a compiled kernel."""
+
+    loop: Loop
+    #: pc of the ``mov <counter>,VL`` strip-length write
+    vl_write_pc: int
+    #: address register counting remaining iterations
+    counter: Register
+    #: counter decrement per strip (the compiler's vector_length)
+    step: int
+
+    def schedule(
+        self, trips: Sequence[int], max_vl: int
+    ) -> tuple[int, int]:
+        """``(strips, elements)`` executed for a trip profile."""
+        strips = 0
+        elements = 0
+        for trip in trips:
+            remaining = int(trip)
+            while remaining > 0:
+                strips += 1
+                elements += min(remaining, max_vl)
+                remaining -= self.step
+        return strips, elements
+
+
+@dataclass(frozen=True)
+class StaticCounts:
+    """Statically predicted totals for one program + trip profile.
+
+    ``f_add``/``f_mul``/``loads``/``stores`` count vector *instruction
+    executions* by class (the unit of the simulator's
+    ``vector_memory_ops`` counter); ``flops`` counts element
+    operations (``flop_count * VL`` per execution, the unit of the
+    simulator's ``flops`` counter).
+    """
+
+    f_add: int
+    f_mul: int
+    loads: int
+    stores: int
+    flops: int
+    #: loop entries (``len(trips)``)
+    entries: int
+    #: strip-loop iterations across all entries
+    strips: int
+    #: total vector elements processed by strip-loop instructions
+    elements: int
+    #: per-strip-iteration MAC workload of the strip-loop body
+    per_strip: OperationCounts
+
+    @property
+    def vector_instructions(self) -> int:
+        return self.f_add + self.f_mul + self.loads + self.stores
+
+    @property
+    def vector_memory_ops(self) -> int:
+        return self.loads + self.stores
+
+
+def find_strip_loop(
+    cfg: CFG, dataflow: DataflowResult
+) -> StripInfo | None:
+    """Locate the strip-mined vector loop, if the program has one."""
+    program = cfg.program
+    candidates: dict[frozenset[int], StripInfo] = {}
+    for index in sorted(cfg.reachable):
+        for pc in cfg.blocks[index].pcs():
+            instr = program[pc]
+            if VL not in instr.writes:
+                continue
+            source = instr.operands[0]
+            if not isinstance(source, Register):
+                continue  # immediate VL writes are not strip idioms
+            loop = cfg.innermost_loop_of(index)
+            if loop is None:
+                continue
+            step = _find_counter_step(cfg, loop, source)
+            if step is None:
+                raise AnalysisError(
+                    f"{program.name}: pc {pc}: strip loop sets VL from "
+                    f"{source.name} but never decrements it by a "
+                    "constant; cannot bound the strip count"
+                )
+            candidates[loop.blocks] = StripInfo(
+                loop=loop, vl_write_pc=pc, counter=source, step=step
+            )
+    if not candidates:
+        return None
+    if len(candidates) > 1:
+        raise AnalysisError(
+            f"{program.name}: {len(candidates)} distinct vector strip "
+            "loops; static count estimation supports exactly one"
+        )
+    return next(iter(candidates.values()))
+
+
+def _find_counter_step(
+    cfg: CFG, loop: Loop, counter: Register
+) -> int | None:
+    """Constant decrement applied to the strip counter inside the loop."""
+    from ..isa.operands import Immediate
+
+    for pc in cfg.loop_pcs(loop):
+        instr = cfg.program[pc]
+        if (
+            instr.mnemonic == "sub"
+            and counter in instr.writes
+            and len(instr.operands) == 2
+            and isinstance(instr.operands[0], Immediate)
+        ):
+            value = int(instr.operands[0].value)
+            if value > 0:
+                return value
+    return None
+
+
+def estimate_counts(
+    cfg: CFG,
+    dataflow: DataflowResult,
+    trips: Sequence[int],
+    max_vl: int = VECTOR_REGISTER_LENGTH,
+) -> StaticCounts:
+    """Predict the simulator's vector counters for a trip profile."""
+    program = cfg.program
+    strip = find_strip_loop(cfg, dataflow)
+    entries = len(trips)
+    strips = elements = 0
+    if strip is not None:
+        if not trips:
+            raise AnalysisError(
+                f"{program.name}: program has a strip loop but the "
+                "trip profile is empty"
+            )
+        strips, elements = strip.schedule(trips, max_vl)
+
+    f_add = f_mul = loads = stores = 0
+    flops = 0
+    for index in sorted(cfg.reachable):
+        for pc in cfg.blocks[index].pcs():
+            instr = program[pc]
+            if not instr.is_vector:
+                continue
+            multiplier = _execution_count(
+                cfg, index, strip, pc, entries, strips
+            )
+            if instr.is_vector_load:
+                loads += multiplier
+            elif instr.is_vector_store:
+                stores += multiplier
+            elif instr.spec.opclass in (
+                OpClass.ADD_GROUP, OpClass.REDUCTION
+            ):
+                f_add += multiplier
+            elif instr.spec.opclass is OpClass.MUL_GROUP:
+                f_mul += multiplier
+            flops += _element_operations(
+                cfg, dataflow, strip, pc, instr,
+                multiplier, elements,
+            )
+
+    per_strip = (
+        mac_counts(program[pc] for pc in cfg.loop_pcs(strip.loop))
+        if strip is not None
+        else OperationCounts(0, 0, 0, 0)
+    )
+    return StaticCounts(
+        f_add=f_add,
+        f_mul=f_mul,
+        loads=loads,
+        stores=stores,
+        flops=flops,
+        entries=entries,
+        strips=strips,
+        elements=elements,
+        per_strip=per_strip,
+    )
+
+
+def _execution_count(
+    cfg: CFG,
+    block_index: int,
+    strip: StripInfo | None,
+    pc: int,
+    entries: int,
+    strips: int,
+) -> int:
+    """How many times a vector instruction executes."""
+    innermost = cfg.innermost_loop_of(block_index)
+    if innermost is None:
+        return 1
+    if strip is None:
+        raise AnalysisError(
+            f"{cfg.program.name}: pc {pc}: vector instruction in a "
+            "loop without a strip-mining idiom; execution count is "
+            "not statically known"
+        )
+    if innermost.blocks == strip.loop.blocks:
+        return strips
+    if strip.loop.blocks < innermost.blocks:
+        # Enclosing loop of the strip loop: runs once per entry.
+        return entries
+    raise AnalysisError(
+        f"{cfg.program.name}: pc {pc}: vector instruction in a loop "
+        "unrelated to the strip loop; execution count is not "
+        "statically known"
+    )
+
+
+def _element_operations(
+    cfg: CFG,
+    dataflow: DataflowResult,
+    strip: StripInfo | None,
+    pc: int,
+    instr: Instruction,
+    multiplier: int,
+    elements: int,
+) -> int:
+    """``flop_count * VL`` summed over the instruction's executions."""
+    if instr.flop_count == 0:
+        return 0
+    vl = dataflow.vl_in[pc]
+    if vl is not None:
+        return instr.flop_count * vl * multiplier
+    # VL statically unknown: only sound inside the strip loop, where
+    # the reaching VL write must be the strip idiom itself.
+    if strip is None or pc not in set(cfg.loop_pcs(strip.loop)):
+        raise AnalysisError(
+            f"{cfg.program.name}: pc {pc}: vector FP instruction with "
+            "statically unknown VL outside the strip loop"
+        )
+    reaching = dataflow.defs_of_use(pc, VL)
+    if reaching != frozenset({strip.vl_write_pc}):
+        raise AnalysisError(
+            f"{cfg.program.name}: pc {pc}: VL inside the strip loop "
+            f"is not solely defined by the strip write at pc "
+            f"{strip.vl_write_pc} (defs: {sorted(reaching)})"
+        )
+    return instr.flop_count * elements

@@ -1,0 +1,180 @@
+"""Static critical-path estimation over the chime schedule.
+
+Partitions the strip-loop body into chimes (``schedule/chimes.py``) and
+reports, per chime, which function pipe binds its steady-state cost —
+the static analogue of OSACA-style throughput/critical-path analysis,
+specialized to the C-240's three-pipe chained VP.
+
+The cycle totals are *model bounds* (MACS-style: startup-free pipes,
+perfect chaining, the §3.4 refresh rule), not simulator-exact numbers;
+the exact differential checking lives in :mod:`repro.analysis.counts`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..isa.registers import VECTOR_REGISTER_LENGTH
+from ..isa.timing import TimingTable, default_timing_table
+from ..schedule.chimes import (
+    ChimePartition,
+    ChimeRules,
+    DEFAULT_RULES,
+    partition_chimes,
+)
+from .cfg import CFG
+from .counts import StripInfo, find_strip_loop
+from .dataflow import DataflowResult
+
+
+@dataclass(frozen=True)
+class ChimeCost:
+    """Steady-state cost breakdown of one chime at full vector length."""
+
+    index: int
+    #: printed instructions in the chime
+    instructions: tuple[str, ...]
+    #: pipe names used by the chime
+    pipes: tuple[str, ...]
+    #: instruction whose stream term ``z * VL_eff`` is largest
+    binding_instruction: str
+    #: the binding pipe's name
+    binding_pipe: str
+    #: ``max(z * VL_eff)`` at full VL
+    stream_cycles: float
+    #: ``sum(b)`` startup overhead
+    startup_cycles: float
+    has_memory_op: bool
+
+    @property
+    def cycles(self) -> float:
+        return self.stream_cycles + self.startup_cycles
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """Chime-level critical path of one program's strip loop."""
+
+    program: str
+    chimes: tuple[ChimeCost, ...]
+    #: scalar-memory chime splits in the body (the LFK8 effect)
+    scalar_memory_splits: int
+    #: scalar instructions masked by the VP
+    masked_scalar_ops: int
+    #: cycles for one strip at full VL, refresh rule applied
+    cycles_per_strip: float
+    #: bound on total strip-loop cycles for the trip profile (None when
+    #: no profile was supplied)
+    estimated_cycles: float | None
+    #: estimated cycles per source iteration (None without a profile)
+    cycles_per_iteration: float | None
+
+    @property
+    def chime_count(self) -> int:
+        return len(self.chimes)
+
+    def binding_pipes(self) -> tuple[str, ...]:
+        return tuple(c.binding_pipe for c in self.chimes)
+
+
+def _chime_costs(
+    partition: ChimePartition,
+    timings: TimingTable,
+    vl: int,
+) -> tuple[ChimeCost, ...]:
+    costs = []
+    for index, chime in enumerate(partition.chimes):
+        binding = None
+        binding_stream = -1.0
+        total_b = 0
+        for instr in chime.instructions:
+            timing = timings.lookup(instr.timing_key)
+            stream = timing.z * timing.effective_vl(vl)
+            total_b += timing.b
+            if stream > binding_stream:
+                binding_stream = stream
+                binding = instr
+        assert binding is not None
+        costs.append(
+            ChimeCost(
+                index=index,
+                instructions=tuple(str(i) for i in chime.instructions),
+                pipes=tuple(
+                    sorted(p.value for p in chime.pipes_used())
+                ),
+                binding_instruction=str(binding),
+                binding_pipe=(
+                    binding.pipe.value if binding.pipe else "?"
+                ),
+                stream_cycles=float(binding_stream),
+                startup_cycles=float(total_b),
+                has_memory_op=chime.has_memory_op,
+            )
+        )
+    return tuple(costs)
+
+
+def critical_path(
+    cfg: CFG,
+    dataflow: DataflowResult,
+    trips: Sequence[int] | None = None,
+    rules: ChimeRules = DEFAULT_RULES,
+    timings: TimingTable | None = None,
+    max_vl: int = VECTOR_REGISTER_LENGTH,
+) -> CriticalPath:
+    """Chime partition + binding-pipe analysis of the strip loop.
+
+    With a trip profile, also integrates the per-strip bound over every
+    strip the profile implies (each strip priced at its actual VL).
+    """
+    if timings is None:
+        timings = default_timing_table()
+    strip = find_strip_loop(cfg, dataflow)
+    if strip is None:
+        return CriticalPath(
+            program=cfg.program.name,
+            chimes=(),
+            scalar_memory_splits=0,
+            masked_scalar_ops=0,
+            cycles_per_strip=0.0,
+            estimated_cycles=None,
+            cycles_per_iteration=None,
+        )
+    body = [cfg.program[pc] for pc in cfg.loop_pcs(strip.loop)]
+    partition = partition_chimes(body, rules)
+    costs = _chime_costs(partition, timings, max_vl)
+    per_strip = partition.total_cycles(max_vl, timings)
+
+    estimated: float | None = None
+    per_iteration: float | None = None
+    if trips is not None:
+        estimated = 0.0
+        iterations = 0
+        for trip in trips:
+            remaining = int(trip)
+            iterations += remaining
+            while remaining > 0:
+                vl = min(remaining, max_vl)
+                estimated += partition.total_cycles(vl, timings)
+                remaining -= strip.step
+        if iterations:
+            per_iteration = estimated / iterations
+    return CriticalPath(
+        program=cfg.program.name,
+        chimes=costs,
+        scalar_memory_splits=partition.scalar_memory_splits,
+        masked_scalar_ops=partition.masked_scalar_ops,
+        cycles_per_strip=per_strip,
+        estimated_cycles=estimated,
+        cycles_per_iteration=per_iteration,
+    )
+
+
+__all__ = [
+    "ChimeCost",
+    "CriticalPath",
+    "critical_path",
+    "StripInfo",
+    "find_strip_loop",
+]

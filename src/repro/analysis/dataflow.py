@@ -1,0 +1,359 @@
+"""Dataflow analyses over the CFG.
+
+A small iterative worklist framework instantiated four ways:
+
+* **Reaching definitions** (forward, union join): which writes of a
+  register *may* reach each instruction — feeds def-use chains and the
+  "definitely never initialized" half of the uninitialized-read check.
+* **Definite assignment** (forward, intersection join): which registers
+  are written on *every* path to an instruction — its complement is the
+  "may be uninitialized" half.
+* **Liveness** (backward, union join): which registers are read again
+  before being overwritten — dead-store detection.
+* **VL constant propagation** (forward, constant lattice): the value of
+  the vector-length register at each pc, when statically known — the
+  static flop estimator needs VL at vector instructions outside the
+  strip loop.
+
+All results are per-instruction (programs here are tens to a few
+hundred instructions, so per-pc sets beat the bookkeeping of
+block-boundary-only solutions).
+
+Two semantic refinements shared by every client:
+
+* a *zeroing idiom* — ``sub x,x`` (or ``sub x,x,y``), whose result is
+  zero regardless of ``x`` — reads nothing, exactly as x86 analyzers
+  treat ``xor eax,eax``;
+* every vector instruction implicitly reads ``VL``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..isa.instructions import Instruction
+from ..isa.registers import (
+    Register,
+    VECTOR_REGISTER_LENGTH,
+    VL,
+)
+from .cfg import CFG
+
+#: A definition site: (pc, register written there).
+Def = tuple[int, Register]
+
+
+def is_zeroing_idiom(instr: Instruction) -> bool:
+    """True for ``sub x,x`` / ``sub x,x,y``: result is zero, so the
+    prior value of ``x`` is never observed."""
+    if instr.mnemonic != "sub":
+        return False
+    sources = instr.sources
+    if not sources or not all(
+        isinstance(op, Register) for op in sources
+    ):
+        return False
+    return len({op for op in sources}) == 1
+
+
+def effective_reads(instr: Instruction) -> frozenset[Register]:
+    """Registers whose *prior values* the instruction observes.
+
+    Zeroing idioms read nothing; vector instructions additionally read
+    the vector-length register.
+    """
+    reads = (
+        frozenset() if is_zeroing_idiom(instr) else instr.reads
+    )
+    if instr.is_vector:
+        reads = reads | {VL}
+    return reads
+
+
+def is_self_move(instr: Instruction) -> bool:
+    """``mov x,x`` — the codegen's explicit no-op label anchor."""
+    return (
+        instr.mnemonic == "mov"
+        and len(instr.operands) == 2
+        and isinstance(instr.operands[0], Register)
+        and instr.operands[0] == instr.operands[1]
+    )
+
+
+class _InstructionFacts:
+    """Pre-extracted per-pc read/write sets shared by the analyses."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        program = cfg.program
+        self.reads: tuple[frozenset[Register], ...] = tuple(
+            effective_reads(instr) for instr in program
+        )
+        self.writes: tuple[frozenset[Register], ...] = tuple(
+            instr.writes for instr in program
+        )
+
+
+@dataclass(frozen=True)
+class DataflowResult:
+    """Bundle of all solved analyses for one program (see
+    :func:`solve`)."""
+
+    cfg: CFG
+    #: pc -> register -> def pcs that may reach the instruction
+    reaching_in: tuple[dict[Register, frozenset[int]], ...]
+    #: pc -> registers definitely assigned on every path to the pc
+    definite_in: tuple[frozenset[Register], ...]
+    #: pc -> registers live immediately after the instruction
+    live_out: tuple[frozenset[Register], ...]
+    #: pc -> VL value before the instruction (None = unknown)
+    vl_in: tuple[int | None, ...]
+
+    # -- def-use chains -------------------------------------------------
+
+    @cached_property
+    def uses_of_def(self) -> dict[Def, frozenset[int]]:
+        """Definition site -> pcs whose reads it may feed."""
+        uses: dict[Def, set[int]] = {}
+        for pc in range(len(self.cfg.program)):
+            for register in effective_reads(self.cfg.program[pc]):
+                for def_pc in self.reaching_in[pc].get(
+                    register, frozenset()
+                ):
+                    uses.setdefault((def_pc, register), set()).add(pc)
+        return {
+            key: frozenset(pcs) for key, pcs in uses.items()
+        }
+
+    def defs_of_use(self, pc: int, register: Register) -> frozenset[int]:
+        """Definition pcs that may supply ``register`` read at ``pc``."""
+        return self.reaching_in[pc].get(register, frozenset())
+
+
+def solve(cfg: CFG, max_vl: int = VECTOR_REGISTER_LENGTH) -> DataflowResult:
+    """Run all four analyses over one CFG."""
+    facts = _InstructionFacts(cfg)
+    reaching = _solve_reaching(cfg, facts)
+    definite = _solve_definite(cfg, facts)
+    live = _solve_liveness(cfg, facts)
+    vl = _solve_vl(cfg, max_vl)
+    return DataflowResult(
+        cfg=cfg,
+        reaching_in=reaching,
+        definite_in=definite,
+        live_out=live,
+        vl_in=vl,
+    )
+
+
+# ----------------------------------------------------------------------
+# Forward problems
+# ----------------------------------------------------------------------
+
+
+def _forward_block_order(cfg: CFG) -> list[int]:
+    return sorted(cfg.reachable)
+
+
+def _solve_reaching(
+    cfg: CFG, facts: _InstructionFacts
+) -> tuple[dict[Register, frozenset[int]], ...]:
+    n = len(cfg.program)
+    per_pc: list[dict[Register, frozenset[int]]] = [
+        {} for _ in range(n)
+    ]
+    # Block-level OUT states, iterated to fixpoint.
+    out: dict[int, dict[Register, frozenset[int]]] = {
+        b: {} for b in cfg.reachable
+    }
+
+    def transfer_block(
+        b: int, state: dict[Register, frozenset[int]], record: bool
+    ) -> dict[Register, frozenset[int]]:
+        state = dict(state)
+        for pc in cfg.blocks[b].pcs():
+            if record:
+                per_pc[pc] = dict(state)
+            for register in facts.writes[pc]:
+                state[register] = frozenset({pc})
+        return state
+
+    changed = True
+    while changed:
+        changed = False
+        for b in _forward_block_order(cfg):
+            merged: dict[Register, set[int]] = {}
+            for p in cfg.blocks[b].predecessors:
+                if p not in cfg.reachable:
+                    continue
+                for register, defs in out[p].items():
+                    merged.setdefault(register, set()).update(defs)
+            state = {
+                register: frozenset(defs)
+                for register, defs in merged.items()
+            }
+            new_out = transfer_block(b, state, record=False)
+            if new_out != out[b]:
+                out[b] = new_out
+                changed = True
+    for b in _forward_block_order(cfg):
+        merged = {}
+        for p in cfg.blocks[b].predecessors:
+            if p not in cfg.reachable:
+                continue
+            for register, defs in out[p].items():
+                merged.setdefault(register, set()).update(defs)
+        transfer_block(
+            b,
+            {r: frozenset(d) for r, d in merged.items()},
+            record=True,
+        )
+    return tuple(per_pc)
+
+
+def _solve_definite(
+    cfg: CFG, facts: _InstructionFacts
+) -> tuple[frozenset[Register], ...]:
+    n = len(cfg.program)
+    per_pc: list[frozenset[Register]] = [frozenset()] * n
+    all_registers = frozenset(
+        register
+        for pc in range(n)
+        for register in facts.writes[pc] | facts.reads[pc]
+    )
+    out: dict[int, frozenset[Register]] = {
+        b: all_registers for b in cfg.reachable
+    }
+    entry_block = 0
+
+    def block_in(b: int) -> frozenset[Register]:
+        if b == entry_block:
+            return frozenset()
+        preds = [
+            p for p in cfg.blocks[b].predecessors if p in cfg.reachable
+        ]
+        if not preds:
+            return frozenset()
+        state = all_registers
+        for p in preds:
+            state = state & out[p]
+        return state
+
+    changed = True
+    while changed:
+        changed = False
+        for b in _forward_block_order(cfg):
+            state = block_in(b)
+            for pc in cfg.blocks[b].pcs():
+                state = state | facts.writes[pc]
+            if state != out[b]:
+                out[b] = state
+                changed = True
+    for b in _forward_block_order(cfg):
+        state = block_in(b)
+        for pc in cfg.blocks[b].pcs():
+            per_pc[pc] = state
+            state = state | facts.writes[pc]
+    return tuple(per_pc)
+
+
+def _solve_liveness(
+    cfg: CFG, facts: _InstructionFacts
+) -> tuple[frozenset[Register], ...]:
+    n = len(cfg.program)
+    per_pc: list[frozenset[Register]] = [frozenset()] * n
+    live_in: dict[int, frozenset[Register]] = {
+        b: frozenset() for b in range(len(cfg.blocks))
+    }
+
+    def transfer_block(b: int, record: bool) -> frozenset[Register]:
+        block = cfg.blocks[b]
+        state: frozenset[Register] = frozenset()
+        for s in block.successors:
+            state = state | live_in[s]
+        for pc in reversed(block.pcs()):
+            if record:
+                per_pc[pc] = state
+            state = (state - facts.writes[pc]) | facts.reads[pc]
+        return state
+
+    changed = True
+    while changed:
+        changed = False
+        for b in sorted(cfg.reachable, reverse=True):
+            new_in = transfer_block(b, record=False)
+            if new_in != live_in[b]:
+                live_in[b] = new_in
+                changed = True
+    for b in sorted(cfg.reachable):
+        transfer_block(b, record=True)
+    return tuple(per_pc)
+
+
+# ----------------------------------------------------------------------
+# VL constant propagation
+# ----------------------------------------------------------------------
+
+#: Lattice: None stands for "unknown" (bottom); ints are known values.
+_VLValue = int | None
+
+
+def _solve_vl(cfg: CFG, max_vl: int) -> tuple[_VLValue, ...]:
+    from ..isa.operands import Immediate
+
+    n = len(cfg.program)
+    per_pc: list[_VLValue] = [None] * n
+    #: block -> (has_state, value) where value None means unknown
+    out: dict[int, tuple[bool, _VLValue]] = {
+        b: (False, None) for b in cfg.reachable
+    }
+
+    def transfer(b: int, value: _VLValue, record: bool) -> _VLValue:
+        for pc in cfg.blocks[b].pcs():
+            if record:
+                per_pc[pc] = value
+            instr = cfg.program[pc]
+            if VL in instr.writes:
+                source = instr.operands[0]
+                if instr.mnemonic == "mov" and isinstance(
+                    source, Immediate
+                ):
+                    # The register file clamps writes to [0, max_vl].
+                    value = max(0, min(int(source.value), max_vl))
+                else:
+                    value = None
+        return value
+
+    def block_in(b: int) -> tuple[bool, _VLValue]:
+        if b == 0:
+            # Architectural reset value (machine/state.py).
+            return True, max_vl
+        states = [
+            out[p]
+            for p in cfg.blocks[b].predecessors
+            if p in cfg.reachable and out[p][0]
+        ]
+        if not states:
+            return False, None
+        values = {value for _, value in states}
+        if len(values) == 1:
+            return True, values.pop()
+        return True, None
+
+    changed = True
+    while changed:
+        changed = False
+        for b in _forward_block_order(cfg):
+            has_state, value = block_in(b)
+            if not has_state:
+                continue
+            new_out = (True, transfer(b, value, record=False))
+            if new_out != out[b]:
+                out[b] = new_out
+                changed = True
+    for b in _forward_block_order(cfg):
+        has_state, value = block_in(b)
+        if has_state:
+            transfer(b, value, record=True)
+    return tuple(per_pc)

@@ -7,6 +7,7 @@ Subcommands::
     macs-repro experiment all            # regenerate everything
     macs-repro analyze lfk1              # MACS hierarchy for one kernel
     macs-repro compile lfk8              # show generated assembly
+    macs-repro lint lfk1                 # static dataflow lint
     macs-repro run lfk3                  # simulate and report cycles
 """
 
@@ -27,6 +28,8 @@ from .workloads import (
     kernel,
     kernel_names,
     run_kernel,
+    workload,
+    workload_names,
 )
 
 
@@ -65,8 +68,76 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _lint_findings(spec, compiled=None):
+    """Lint one workload's compiled program with its trip profile."""
+    from .analysis import LintOptions, lint_program
+
+    if compiled is None:
+        compiled = compile_spec(spec)
+    return lint_program(
+        compiled.program,
+        LintOptions(trips=tuple(spec.trip_profile)),
+    )
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from .analysis import Severity
+
+    try:
+        minimum = Severity.parse(args.min_severity)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    names = (
+        workload_names() if args.kernel == "all" else [args.kernel]
+    )
+    exit_code = 0
+    payload = []
+    for name in names:
+        spec = workload(name)
+        findings = _lint_findings(spec)
+        errors = sum(
+            1 for f in findings if f.severity >= Severity.ERROR
+        )
+        if errors:
+            exit_code = 1
+        shown = [f for f in findings if f.severity >= minimum]
+        if args.json:
+            payload.append(
+                {
+                    "kernel": name,
+                    "errors": errors,
+                    "findings": [f.to_dict() for f in shown],
+                }
+            )
+            continue
+        for finding in shown:
+            print(finding.format())
+        counts = {
+            severity: sum(
+                1 for f in findings if f.severity is severity
+            )
+            for severity in Severity
+        }
+        print(
+            f"{name}: {counts[Severity.ERROR]} error(s), "
+            f"{counts[Severity.WARNING]} warning(s), "
+            f"{counts[Severity.INFO]} info"
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    return exit_code
+
+
 def _cmd_compile(args) -> int:
-    compiled = compile_spec(kernel(args.kernel))
+    from .compiler.options import DEFAULT_OPTIONS
+
+    options = DEFAULT_OPTIONS
+    if args.strict:
+        options = options.replace(verify=True)
+    compiled = compile_spec(kernel(args.kernel), options)
     print(format_program(compiled.program))
     for plan in compiled.loops:
         status = "vectorized" if plan.vectorized else (
@@ -107,6 +178,22 @@ def _cmd_run(args) -> int:
     if args.no_fastpath:
         config = config.without_fastpath()
     spec = kernel(args.kernel)
+    if args.lint:
+        from .analysis import Severity
+
+        findings = _lint_findings(spec)
+        errors = [
+            f for f in findings if f.severity >= Severity.ERROR
+        ]
+        for finding in errors:
+            print(finding.format(), file=sys.stderr)
+        if errors:
+            print(
+                f"error: {spec.name}: {len(errors)} lint error(s); "
+                "refusing to simulate",
+                file=sys.stderr,
+            )
+            return 1
     if args.profile:
         clear_caches()
         t0 = time.perf_counter()
@@ -187,6 +274,26 @@ def build_parser() -> argparse.ArgumentParser:
         "compile", help="show a kernel's generated assembly"
     )
     compile_cmd.add_argument("kernel")
+    compile_cmd.add_argument(
+        "--strict", action="store_true",
+        help="fail if the generated code has lint errors",
+    )
+
+    lint_cmd = sub.add_parser(
+        "lint", help="static dataflow lint of a kernel's assembly"
+    )
+    lint_cmd.add_argument(
+        "kernel", help="workload name, or 'all'"
+    )
+    lint_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit findings as JSON",
+    )
+    lint_cmd.add_argument(
+        "--min-severity", default="info",
+        help="hide findings below this severity "
+        "(info, warning, error)",
+    )
 
     svg_cmd = sub.add_parser(
         "svg", help="write a figure as an SVG document"
@@ -215,6 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip output verification",
     )
     run_cmd.add_argument(
+        "--lint", action="store_true",
+        help="lint the generated code first; fail on lint errors",
+    )
+    run_cmd.add_argument(
         "--no-fastpath", action="store_true",
         help="disable the steady-state fast path (pure interpreter)",
     )
@@ -237,6 +348,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "analyze": _cmd_analyze,
         "compile": _cmd_compile,
+        "lint": _cmd_lint,
         "run": _cmd_run,
     }
     try:

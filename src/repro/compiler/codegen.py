@@ -379,6 +379,8 @@ class CodeGenerator:
         self._emit_statements(self.source.statements)
         self._allocate_data_regions()
         program = self.builder.build()
+        if self.options.verify:
+            self._verify_program(program)
         return CompiledKernel(
             name=self.name,
             program=program,
@@ -390,6 +392,30 @@ class CodeGenerator:
             source=self.source,
             functionally_exact=self._functionally_exact,
         )
+
+    def _verify_program(self, program) -> None:
+        """Post-codegen lint gate (``CompilerOptions.verify``).
+
+        Imported lazily: ``repro.analysis`` sits above the compiler in
+        the layering and must not be a hard import dependency.
+        """
+        from ..analysis import Severity, lint_program
+        from ..errors import LintError
+
+        errors = [
+            finding
+            for finding in lint_program(program)
+            if finding.severity >= Severity.ERROR
+        ]
+        if errors:
+            details = "; ".join(f.format() for f in errors[:5])
+            more = len(errors) - 5
+            if more > 0:
+                details += f"; ... and {more} more"
+            raise LintError(
+                f"{self.name}: generated program failed verification "
+                f"with {len(errors)} lint error(s): {details}"
+            )
 
     def _collect_goto_labels(self) -> None:
         for stmt in walk_statements(self.source.statements):
@@ -733,7 +759,7 @@ class CodeGenerator:
             b.set_vl(Immediate(128))
             b.op(
                 "mul", zero, vreg(acc_reg), vreg(acc_reg), suffix="d",
-                comment="zero partial sums",
+                comment="zero partial sums (lint:ok uninit-read)",
             )
 
     def _emit_reduction_body(self, plan: LoopPlan) -> None:
@@ -783,8 +809,14 @@ class CodeGenerator:
         b = self.builder
         if op.kind is VectorOpKind.LOAD:
             mem = self._stream_mem(op.stream, group_of)
-            b.vload(mem, vreg(allocated.output_reg),
-                    comment=op.stream.array)
+            comment = op.stream.array
+            if self.options.reuse_shifted_loads:
+                # Shifted-reuse is performance-equivalent only: a
+                # collapsed stream can leave this load feeding a
+                # degenerate self-cancelling op (LFK12's Y(k+1)-Y(k)),
+                # making the load dead in the emitted code.
+                comment += " (lint:ok dead-store)"
+            b.vload(mem, vreg(allocated.output_reg), comment=comment)
             return
         if op.kind is VectorOpKind.STORE:
             mem = self._stream_mem(op.stream, group_of)

@@ -52,6 +52,9 @@ class CompilerOptions:
     vector_length: int = 128
     #: allow falling back to scalar code for non-vectorizable loops
     allow_scalar_fallback: bool = True
+    #: run the static lint suite over the emitted program and raise
+    #: :class:`~repro.errors.LintError` on error-severity findings
+    verify: bool = False
 
     def __post_init__(self):
         if self.vector_length <= 0:

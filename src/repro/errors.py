@@ -111,6 +111,17 @@ class ModelError(ReproError):
     """Raised for invalid inputs to the MACS bounds model."""
 
 
+class AnalysisError(ReproError):
+    """Raised by the static analyzer for malformed queries or programs
+    whose shape the analysis does not support (e.g. count estimation
+    over a program with several distinct vector loops)."""
+
+
+class LintError(AnalysisError):
+    """Raised when a program fails lint verification (error-severity
+    findings under ``CompilerOptions.verify`` or ``compile --strict``)."""
+
+
 class WorkloadError(ReproError):
     """Raised for invalid workload (kernel) definitions or parameters."""
 

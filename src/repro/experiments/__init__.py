@@ -31,6 +31,7 @@ from .extensions import (
 )
 from .figure1 import run_figure1
 from .report import generate_report, write_report
+from .staticsummary import run_static_summary
 from .vlstudy import n_half_from_curve, run_vector_length_study
 from .figure2 import run_figure2
 from .figure3 import run_figure3
@@ -59,6 +60,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "extension-short-vectors": run_extension_short_vectors,
     "extension-dbound": run_extension_dbound,
     "advisor": run_advisor,
+    "static-summary": run_static_summary,
     "ablation-bubbles": run_ablation_bubbles,
     "ablation-refresh": run_ablation_refresh,
     "ablation-reuse": run_ablation_reuse,
@@ -88,6 +90,7 @@ __all__ = [
     "run_contention",
     "run_extension_dbound",
     "run_extension_short_vectors",
+    "run_static_summary",
     "generate_report",
     "n_half_from_curve",
     "run_figure1",

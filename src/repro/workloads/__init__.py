@@ -32,7 +32,36 @@ from .generator import GeneratedLoop, generate_loop
 from .runner import KernelRun, clear_caches, compile_spec, prepare_simulator, run_kernel
 from .stencils import DAXPY, HEAT1D, SDOT_LONG, STENCIL_KERNELS, TRIDIAG_RHS, WAVE1D
 
+#: Every named workload: the ten case-study kernels, the two excluded
+#: LFK kernels, and the extra stencil/BLAS loops.
+ALL_WORKLOADS: tuple[KernelSpec, ...] = (
+    *CASE_STUDY_KERNELS,
+    *EXCLUDED_KERNELS,
+    *STENCIL_KERNELS,
+)
+
+_WORKLOADS_BY_NAME = {spec.name: spec for spec in ALL_WORKLOADS}
+
+
+def workload(name: str) -> KernelSpec:
+    """Look up any workload (case-study, excluded, or stencil) by name."""
+    from ..errors import WorkloadError
+
+    spec = _WORKLOADS_BY_NAME.get(name.lower())
+    if spec is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: "
+            f"{sorted(_WORKLOADS_BY_NAME)}"
+        )
+    return spec
+
+
+def workload_names() -> tuple[str, ...]:
+    return tuple(spec.name for spec in ALL_WORKLOADS)
+
+
 __all__ = [
+    "ALL_WORKLOADS",
     "CASE_STUDY_KERNELS",
     "EXCLUDED_KERNELS",
     "KernelRun",
@@ -59,4 +88,6 @@ __all__ = [
     "kernel_names",
     "prepare_simulator",
     "run_kernel",
+    "workload",
+    "workload_names",
 ]

@@ -36,12 +36,14 @@ _RUN_CACHE_MAX = 256
 
 
 def clear_caches() -> None:
-    """Drop all memoized compilations, runs, and A/X measurements."""
+    """Drop all memoized compilations, runs, analyses, and A/X data."""
     _COMPILE_CACHE.clear()
     _RUN_CACHE.clear()
+    from ..analysis import clear_analysis_cache
     from ..model import ax
 
     ax._AX_CACHE.clear()
+    clear_analysis_cache()
 
 
 def _cache_get(cache: OrderedDict, key):

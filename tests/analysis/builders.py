@@ -1,0 +1,119 @@
+"""Hand-built programs exercising specific analyzer behaviours."""
+
+from repro.isa.builder import AsmBuilder
+from repro.isa.operands import Immediate
+from repro.isa.registers import areg, sreg, vreg
+
+
+def strip_program(n: int = 300, name: str = "strip"):
+    """One strip-mined vector loop computing ``x[i] += y[i]``."""
+    b = AsmBuilder(name)
+    x = b.data("x", 512)
+    y = b.data("y", 512)
+    b.mov(Immediate(0), areg(0), comment="zero base")
+    b.mov(Immediate(n), areg(7))
+    b.mov(Immediate(0), areg(5))
+    with b.strip_loop(areg(7), areg(5)):
+        b.vload(b.mem(x, areg(5)), vreg(0))
+        b.vload(b.mem(y, areg(5)), vreg(1))
+        b.vadd(vreg(0), vreg(1), vreg(2))
+        b.vstore(vreg(2), b.mem(x, areg(5)))
+    return b.build()
+
+
+def diamond_program():
+    """s0 written on both arms of a branch, read after the join."""
+    b = AsmBuilder("diamond")
+    b.mov(Immediate(1), areg(1))
+    b.compare_lt(Immediate(0), areg(1))
+    els = b.fresh_label()
+    join = b.fresh_label()
+    b.branch_true(els)
+    b.mov(Immediate(2), sreg(0))
+    b.jump(join)
+    b.label(els)
+    b.mov(Immediate(3), sreg(0))
+    b.label(join)
+    b.mov(sreg(0), sreg(1))
+    return b.build()
+
+
+def partial_init_program():
+    """s0 written on the fall-through path only, then read."""
+    b = AsmBuilder("partial")
+    b.mov(Immediate(1), areg(1))
+    b.compare_lt(Immediate(0), areg(1))
+    skip = b.fresh_label()
+    b.branch_true(skip)
+    b.mov(Immediate(2), sreg(0))
+    b.label(skip)
+    b.mov(sreg(0), sreg(1))
+    return b.build()
+
+
+def uninit_program(comment: str | None = None):
+    """Reads s0/s1 with no write anywhere."""
+    b = AsmBuilder("uninit")
+    b.mov(Immediate(0), areg(0))
+    b.op("add", sreg(0), sreg(1), sreg(2), suffix="d", comment=comment)
+    return b.build()
+
+
+def unreachable_program():
+    """A jump over one instruction nothing branches to."""
+    b = AsmBuilder("unreach")
+    target = b.fresh_label()
+    b.jump(target)
+    b.mov(Immediate(1), sreg(0))
+    b.label(target)
+    b.mov(Immediate(2), sreg(1))
+    return b.build()
+
+
+def vector_mov_program():
+    """A vector ``mov`` — legal to build, outside the timing model."""
+    b = AsmBuilder("vmov")
+    x = b.data("x", 256)
+    b.mov(Immediate(0), areg(0))
+    b.set_vl(Immediate(4))
+    b.vload(b.mem(x, areg(0)), vreg(0))
+    b.op("mov", vreg(0), vreg(1), suffix="d")
+    b.vstore(vreg(1), b.mem(x, areg(0)))
+    return b.build()
+
+
+def overlap_program(
+    disp_b: int = 1,
+    stride: int = 1,
+    same_base: bool = True,
+    n: int = 300,
+):
+    """Strip loop with a load at x+0 and a store at x+``disp_b``."""
+    b = AsmBuilder("overlap")
+    x = b.data("x", 1024)
+    b.mov(Immediate(0), areg(0))
+    b.mov(Immediate(n), areg(7))
+    b.mov(Immediate(0), areg(5))
+    b.mov(Immediate(0), areg(6))
+    base_b = areg(5) if same_base else areg(6)
+    with b.strip_loop(areg(7), areg(5)):
+        b.vload(b.mem(x, areg(5), 0, stride), vreg(0))
+        b.vadd(vreg(0), vreg(0), vreg(1))
+        b.vstore(vreg(1), b.mem(x, base_b, disp_b, stride))
+    return b.build()
+
+
+def forwarding_program(n: int = 300):
+    """Store to x then reload the identical addresses (no forwarding)."""
+    b = AsmBuilder("forward")
+    x = b.data("x", 1024)
+    y = b.data("y", 1024)
+    b.mov(Immediate(0), areg(0))
+    b.mov(Immediate(n), areg(7))
+    b.mov(Immediate(0), areg(5))
+    with b.strip_loop(areg(7), areg(5)):
+        b.vload(b.mem(y, areg(5)), vreg(0))
+        b.vstore(vreg(0), b.mem(x, areg(5)))
+        b.vload(b.mem(x, areg(5)), vreg(1))
+        b.vstore(vreg(1), b.mem(y, areg(5), 512))
+    return b.build()

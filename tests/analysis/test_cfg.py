@@ -1,0 +1,93 @@
+"""CFG construction: blocks, reachability, dominators, loops."""
+
+from repro.analysis import build_cfg
+from repro.workloads import compile_spec, kernel
+
+from .builders import (
+    diamond_program,
+    strip_program,
+    unreachable_program,
+)
+
+
+class TestBlocks:
+    def test_linear_program_is_one_block(self):
+        cfg = build_cfg(diamond_program())
+        # diamond: entry, then-arm, else-arm, join
+        assert len(cfg.blocks) == 4
+        assert cfg.blocks[0].start == 0
+
+    def test_blocks_partition_every_pc(self):
+        cfg = build_cfg(strip_program())
+        pcs = [pc for block in cfg.blocks for pc in block.pcs()]
+        assert pcs == list(range(len(cfg.program)))
+
+    def test_block_of_maps_pc_to_owner(self):
+        cfg = build_cfg(strip_program())
+        for block in cfg.blocks:
+            for pc in block.pcs():
+                assert cfg.block_of(pc) is block
+
+    def test_diamond_edges(self):
+        cfg = build_cfg(diamond_program())
+        entry, then_arm, else_arm, join = cfg.blocks
+        assert set(entry.successors) == {then_arm.index, else_arm.index}
+        assert then_arm.successors == (join.index,)
+        assert else_arm.successors == (join.index,)
+        assert set(join.predecessors) == {then_arm.index, else_arm.index}
+
+
+class TestReachability:
+    def test_all_blocks_reachable_in_strip_loop(self):
+        cfg = build_cfg(strip_program())
+        assert cfg.reachable == frozenset(b.index for b in cfg.blocks)
+
+    def test_jumped_over_block_is_unreachable(self):
+        cfg = build_cfg(unreachable_program())
+        unreachable = [
+            b.index for b in cfg.blocks if b.index not in cfg.reachable
+        ]
+        assert len(unreachable) == 1
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = build_cfg(diamond_program())
+        for block in cfg.blocks:
+            assert cfg.dominates(0, block.index)
+
+    def test_arms_do_not_dominate_join(self):
+        cfg = build_cfg(diamond_program())
+        _, then_arm, else_arm, join = cfg.blocks
+        assert not cfg.dominates(then_arm.index, join.index)
+        assert not cfg.dominates(else_arm.index, join.index)
+
+
+class TestLoops:
+    def test_strip_program_has_one_loop(self):
+        cfg = build_cfg(strip_program())
+        assert len(cfg.loops) == 1
+        loop = cfg.loops[0]
+        # every vector pc sits inside the loop
+        for pc, instr in enumerate(cfg.program):
+            if instr.is_vector:
+                assert cfg.block_of(pc).index in loop.blocks
+
+    def test_diamond_has_no_loops(self):
+        cfg = build_cfg(diamond_program())
+        assert cfg.loops == ()
+
+    def test_innermost_loop_of_loop_body(self):
+        cfg = build_cfg(strip_program())
+        loop = cfg.loops[0]
+        body_index = next(iter(loop.blocks))
+        assert cfg.innermost_loop_of(body_index) is loop
+
+    def test_lfk2_goto_loop_nests_strip_loop(self):
+        # LFK2's source GOTO produces an outer loop around the strip
+        # loop; both must be discovered, properly nested.
+        program = compile_spec(kernel("lfk2")).program
+        cfg = build_cfg(program)
+        assert len(cfg.loops) >= 2
+        depths = {cfg.loop_depth(b.index) for b in cfg.blocks}
+        assert max(depths) >= 2

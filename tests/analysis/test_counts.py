@@ -1,0 +1,133 @@
+"""Static counter prediction: strip discovery and exact totals."""
+
+import pytest
+
+from repro.analysis import (
+    build_cfg,
+    find_strip_loop,
+    static_counts,
+)
+from repro.analysis.counts import estimate_counts
+from repro.analysis.dataflow import solve
+from repro.errors import AnalysisError
+from repro.isa.builder import AsmBuilder
+from repro.isa.operands import Immediate
+from repro.isa.registers import areg, vreg
+
+from .builders import diamond_program, strip_program
+
+
+def analyze(program):
+    cfg = build_cfg(program)
+    return cfg, solve(cfg)
+
+
+class TestStripDiscovery:
+    def test_strip_loop_found(self):
+        cfg, dataflow = analyze(strip_program())
+        strip = find_strip_loop(cfg, dataflow)
+        assert strip is not None
+        assert strip.counter == areg(7)
+        assert strip.step == 128
+
+    def test_program_without_vector_loop_has_none(self):
+        cfg, dataflow = analyze(diamond_program())
+        assert find_strip_loop(cfg, dataflow) is None
+
+    def test_two_strip_loops_rejected(self):
+        b = AsmBuilder("twice")
+        x = b.data("x", 1024)
+        b.mov(Immediate(0), areg(0))
+        b.mov(Immediate(300), areg(7))
+        b.mov(Immediate(0), areg(5))
+        with b.strip_loop(areg(7), areg(5)):
+            b.vload(b.mem(x, areg(5)), vreg(0))
+            b.vstore(vreg(0), b.mem(x, areg(5)))
+        b.mov(Immediate(200), areg(6))
+        with b.strip_loop(areg(6), areg(5)):
+            b.vload(b.mem(x, areg(5)), vreg(1))
+            b.vstore(vreg(1), b.mem(x, areg(5)))
+        cfg, dataflow = analyze(b.build())
+        with pytest.raises(AnalysisError, match="2 distinct"):
+            find_strip_loop(cfg, dataflow)
+
+    def test_schedule_splits_trips_into_strips(self):
+        cfg, dataflow = analyze(strip_program())
+        strip = find_strip_loop(cfg, dataflow)
+        assert strip.schedule((300,), 128) == (3, 300)
+        assert strip.schedule((5,), 128) == (1, 5)
+        assert strip.schedule((128, 128), 128) == (2, 256)
+
+
+class TestEstimateCounts:
+    def test_strip_program_totals(self):
+        cfg, dataflow = analyze(strip_program())
+        counts = estimate_counts(cfg, dataflow, (300,))
+        assert counts.strips == 3
+        assert counts.elements == 300
+        assert counts.loads == 6
+        assert counts.stores == 3
+        assert counts.f_add == 3
+        assert counts.f_mul == 0
+        assert counts.flops == 300
+        assert counts.vector_memory_ops == 9
+        assert counts.vector_instructions == 12
+
+    def test_multiple_entries_accumulate(self):
+        cfg, dataflow = analyze(strip_program())
+        counts = estimate_counts(cfg, dataflow, (300, 10))
+        assert counts.entries == 2
+        assert counts.strips == 4
+        assert counts.elements == 310
+        assert counts.flops == 310
+
+    def test_per_strip_mac_counts(self):
+        cfg, dataflow = analyze(strip_program())
+        counts = estimate_counts(cfg, dataflow, (300,))
+        assert counts.per_strip.loads == 2
+        assert counts.per_strip.stores == 1
+        assert counts.per_strip.f_add == 1
+
+    def test_known_vl_outside_loop(self):
+        b = AsmBuilder("flat")
+        x = b.data("x", 256)
+        b.mov(Immediate(0), areg(0))
+        b.set_vl(Immediate(4))
+        b.vload(b.mem(x, areg(0)), vreg(0))
+        b.vadd(vreg(0), vreg(0), vreg(1))
+        b.vstore(vreg(1), b.mem(x, areg(0)))
+        cfg, dataflow = analyze(b.build())
+        counts = estimate_counts(cfg, dataflow, ())
+        assert counts.strips == 0
+        assert counts.loads == 1 and counts.stores == 1
+        assert counts.flops == 4
+
+    def test_vector_loop_without_strip_idiom_rejected(self):
+        b = AsmBuilder("wild")
+        x = b.data("x", 256)
+        b.mov(Immediate(0), areg(0))
+        b.set_vl(Immediate(8))
+        b.mov(Immediate(5), areg(1))
+        top = b.fresh_label()
+        b.label(top)
+        b.vload(b.mem(x, areg(0)), vreg(0))
+        b.vstore(vreg(0), b.mem(x, areg(0)))
+        b.sub_imm(1, areg(1))
+        b.compare_lt(Immediate(0), areg(1))
+        b.branch_true(top)
+        cfg, dataflow = analyze(b.build())
+        with pytest.raises(AnalysisError, match="strip-mining"):
+            estimate_counts(cfg, dataflow, (5,))
+
+    def test_strip_loop_with_empty_trips_rejected(self):
+        cfg, dataflow = analyze(strip_program())
+        with pytest.raises(AnalysisError, match="empty"):
+            estimate_counts(cfg, dataflow, ())
+
+
+class TestPublicEntryPoint:
+    def test_static_counts_matches_estimate(self):
+        program = strip_program()
+        cfg, dataflow = analyze(program)
+        direct = estimate_counts(cfg, dataflow, (300,))
+        assert static_counts(program, (300,)) == direct

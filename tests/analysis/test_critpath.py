@@ -1,0 +1,62 @@
+"""Chime-level critical-path estimation."""
+
+from repro.analysis import static_critical_path
+from repro.workloads import compile_spec, kernel
+
+from .builders import diamond_program, strip_program
+
+
+class TestCriticalPath:
+    def test_strip_program_has_chimes(self):
+        path = static_critical_path(strip_program())
+        assert path.chime_count >= 2
+        assert path.cycles_per_strip > 0
+        for chime in path.chimes:
+            assert chime.cycles > 0
+            assert chime.binding_pipe in {"load/store", "add", "multiply"}
+
+    def test_binding_instruction_is_in_the_chime(self):
+        path = static_critical_path(strip_program())
+        for chime in path.chimes:
+            assert chime.binding_instruction in chime.instructions
+
+    def test_no_strip_loop_gives_empty_path(self):
+        path = static_critical_path(diamond_program())
+        assert path.chime_count == 0
+        assert path.estimated_cycles is None
+
+    def test_trip_profile_integrates_over_strips(self):
+        without = static_critical_path(strip_program())
+        with_trips = static_critical_path(strip_program(), trips=(300,))
+        assert without.estimated_cycles is None
+        assert with_trips.estimated_cycles is not None
+        # three strips, two of them full-length
+        assert (
+            with_trips.estimated_cycles
+            > 2 * with_trips.cycles_per_strip
+        )
+        assert with_trips.cycles_per_iteration is not None
+        assert (
+            with_trips.cycles_per_iteration
+            == with_trips.estimated_cycles / 300
+        )
+
+
+class TestCompiledKernels:
+    def test_lfk1_chime_structure(self):
+        spec = kernel("lfk1")
+        program = compile_spec(spec).program
+        path = static_critical_path(
+            program, trips=tuple(spec.trip_profile)
+        )
+        # LFK1: 3 loads + 1 store => four memory-bound chimes
+        assert path.chime_count == 4
+        assert set(path.binding_pipes()) == {"load/store"}
+        assert path.estimated_cycles > 0
+
+    def test_lfk7_has_arithmetic_bound_chimes(self):
+        spec = kernel("lfk7")
+        program = compile_spec(spec).program
+        path = static_critical_path(program)
+        # 8 multiplies over 9 loads: some chimes bind on the FP pipes
+        assert {"add", "multiply"} & set(path.binding_pipes())

@@ -1,0 +1,149 @@
+"""Dataflow solvers: reaching defs, definite assignment, liveness, VL."""
+
+from repro.analysis import build_cfg
+from repro.analysis.dataflow import (
+    effective_reads,
+    is_self_move,
+    is_zeroing_idiom,
+    solve,
+)
+from repro.isa.builder import AsmBuilder
+from repro.isa.operands import Immediate
+from repro.isa.registers import VL, areg, sreg, vreg
+
+from .builders import diamond_program, partial_init_program, strip_program
+
+
+def analyze(program):
+    cfg = build_cfg(program)
+    return cfg, solve(cfg)
+
+
+class TestReachingDefs:
+    def test_both_diamond_arms_reach_the_join(self):
+        program = diamond_program()
+        cfg, dataflow = analyze(program)
+        read_pc = len(program) - 1
+        defs = dataflow.defs_of_use(read_pc, sreg(0))
+        assert len(defs) == 2
+        for def_pc in defs:
+            assert sreg(0) in program[def_pc].writes
+
+    def test_uses_of_def_inverts_defs_of_use(self):
+        program = diamond_program()
+        _, dataflow = analyze(program)
+        read_pc = len(program) - 1
+        for def_pc in dataflow.defs_of_use(read_pc, sreg(0)):
+            assert read_pc in dataflow.uses_of_def[(def_pc, sreg(0))]
+
+    def test_loop_carried_def_reaches_loop_top(self):
+        program = strip_program()
+        cfg, dataflow = analyze(program)
+        # the counter decrement at the loop bottom reaches the
+        # set_vl read at the loop top
+        vl_write = next(
+            pc for pc, i in enumerate(program) if VL in i.writes
+        )
+        counter_defs = dataflow.defs_of_use(vl_write, areg(7))
+        assert len(counter_defs) == 2  # preheader mov + in-loop sub
+
+
+class TestDefiniteAssignment:
+    def test_both_arm_writes_are_definite(self):
+        program = diamond_program()
+        _, dataflow = analyze(program)
+        assert sreg(0) in dataflow.definite_in[len(program) - 1]
+
+    def test_one_arm_write_is_not_definite(self):
+        program = partial_init_program()
+        _, dataflow = analyze(program)
+        read_pc = len(program) - 1
+        assert sreg(0) not in dataflow.definite_in[read_pc]
+        assert dataflow.defs_of_use(read_pc, sreg(0))
+
+
+class TestLiveness:
+    def test_stored_register_is_live_after_definition(self):
+        program = strip_program()
+        _, dataflow = analyze(program)
+        add_pc = next(
+            pc for pc, i in enumerate(program)
+            if i.mnemonic == "add" and vreg(2) in i.writes
+        )
+        assert vreg(2) in dataflow.live_out[add_pc]
+
+    def test_unused_write_is_dead(self):
+        b = AsmBuilder("dead")
+        b.mov(Immediate(0), areg(0))
+        b.mov(Immediate(1), sreg(0))
+        program = b.build()
+        _, dataflow = analyze(program)
+        assert sreg(0) not in dataflow.live_out[1]
+
+
+class TestVLConstants:
+    def test_entry_vl_is_the_reset_value(self):
+        b = AsmBuilder("vl")
+        b.mov(Immediate(0), areg(0))
+        program = b.build()
+        _, dataflow = analyze(program)
+        assert dataflow.vl_in[0] == 128
+
+    def test_immediate_write_propagates(self):
+        b = AsmBuilder("vl")
+        b.set_vl(Immediate(5))
+        b.mov(Immediate(0), areg(0))
+        program = b.build()
+        _, dataflow = analyze(program)
+        assert dataflow.vl_in[1] == 5
+
+    def test_immediate_write_clamps_to_max_vl(self):
+        b = AsmBuilder("vl")
+        b.set_vl(Immediate(500))
+        b.mov(Immediate(0), areg(0))
+        program = b.build()
+        _, dataflow = analyze(program)
+        assert dataflow.vl_in[1] == 128
+
+    def test_register_write_is_unknown(self):
+        b = AsmBuilder("vl")
+        b.mov(Immediate(7), areg(1))
+        b.set_vl(areg(1))
+        b.mov(Immediate(0), areg(0))
+        program = b.build()
+        _, dataflow = analyze(program)
+        assert dataflow.vl_in[2] is None
+
+    def test_strip_loop_vl_is_unknown_in_body(self):
+        program = strip_program()
+        _, dataflow = analyze(program)
+        add_pc = next(
+            pc for pc, i in enumerate(program)
+            if i.mnemonic == "add" and vreg(2) in i.writes
+        )
+        assert dataflow.vl_in[add_pc] is None
+
+
+class TestInstructionHelpers:
+    def test_zeroing_idiom_reads_nothing(self):
+        b = AsmBuilder("zero")
+        instr = b.vsub(vreg(3), vreg(3), vreg(3))
+        assert is_zeroing_idiom(instr)
+        assert effective_reads(instr) == frozenset({VL})
+
+    def test_ordinary_sub_reads_sources(self):
+        b = AsmBuilder("sub")
+        instr = b.vsub(vreg(1), vreg(2), vreg(3))
+        assert not is_zeroing_idiom(instr)
+        reads = effective_reads(instr)
+        assert vreg(1) in reads and vreg(2) in reads
+
+    def test_self_move_detected(self):
+        b = AsmBuilder("anchor")
+        instr = b.mov(areg(0), areg(0))
+        assert is_self_move(instr)
+
+    def test_vector_ops_implicitly_read_vl(self):
+        b = AsmBuilder("vl")
+        instr = b.vadd(vreg(0), vreg(1), vreg(2))
+        assert VL in effective_reads(instr)

@@ -1,0 +1,132 @@
+"""The linter and counter oracle over every workload and option set.
+
+This is the subsystem's acceptance gate: all ten case-study kernels
+(plus the excluded LFKs and the extra stencil loops) must lint without
+errors or warnings under every supported compiler configuration, and
+the static counters must match the simulator's observed counters
+exactly.
+"""
+
+import pytest
+
+from repro.analysis import (
+    LintOptions,
+    Severity,
+    lint_program,
+    static_counts,
+)
+from repro.compiler import CompilerOptions
+from repro.compiler.options import ReductionStyle
+from repro.errors import CompileError
+from repro.model import analyze_kernel
+from repro.workloads import (
+    ALL_WORKLOADS,
+    CASE_STUDY_KERNELS,
+    compile_spec,
+    run_kernel,
+)
+
+VARIANTS = {
+    "default": CompilerOptions(),
+    "reuse": CompilerOptions(reuse_shifted_loads=True),
+    "tight-sregs": CompilerOptions(scalar_fp_registers=2),
+    "tight-aregs": CompilerOptions(address_registers=6),
+    "partial-sums": CompilerOptions(
+        reduction_style=ReductionStyle.PARTIAL_SUMS
+    ),
+    "direct-sum": CompilerOptions(
+        reduction_style=ReductionStyle.DIRECT_SUM
+    ),
+}
+
+WORKLOAD_IDS = [spec.name for spec in ALL_WORKLOADS]
+CASE_IDS = [spec.name for spec in CASE_STUDY_KERNELS]
+
+
+def compile_or_skip(spec, options):
+    try:
+        return compile_spec(spec, options)
+    except CompileError as exc:
+        pytest.skip(f"{spec.name} does not compile here: {exc}")
+
+
+@pytest.mark.parametrize("variant", VARIANTS, ids=VARIANTS.keys())
+@pytest.mark.parametrize("spec", ALL_WORKLOADS, ids=WORKLOAD_IDS)
+class TestLintClean:
+    def test_no_errors_or_warnings(self, spec, variant):
+        compiled = compile_or_skip(spec, VARIANTS[variant])
+        findings = lint_program(
+            compiled.program,
+            LintOptions(trips=tuple(spec.trip_profile)),
+        )
+        noisy = [
+            f.format() for f in findings
+            if f.severity >= Severity.WARNING
+        ]
+        assert noisy == []
+
+
+@pytest.mark.parametrize("spec", ALL_WORKLOADS, ids=WORKLOAD_IDS)
+class TestCountsMatchSimulator:
+    def test_default_options(self, spec):
+        run = run_kernel(spec)
+        counts = static_counts(
+            run.compiled.program, tuple(spec.trip_profile)
+        )
+        result = run.result
+        assert counts.flops == result.flops
+        assert counts.vector_memory_ops == result.vector_memory_ops
+        assert counts.vector_instructions == result.vector_instructions
+
+
+@pytest.mark.parametrize(
+    "variant", ["reuse", "partial-sums", "direct-sum"]
+)
+@pytest.mark.parametrize("spec", CASE_STUDY_KERNELS, ids=CASE_IDS)
+class TestCountsMatchSimulatorVariants:
+    def test_variant(self, spec, variant):
+        options = VARIANTS[variant]
+        compile_or_skip(spec, options)
+        run = run_kernel(spec, options=options)
+        counts = static_counts(
+            run.compiled.program, tuple(spec.trip_profile)
+        )
+        result = run.result
+        assert counts.flops == result.flops
+        assert counts.vector_memory_ops == result.vector_memory_ops
+        assert counts.vector_instructions == result.vector_instructions
+
+
+@pytest.mark.parametrize("spec", CASE_STUDY_KERNELS, ids=CASE_IDS)
+class TestPerStripMatchesModel:
+    def test_strip_body_equals_mac_counts(self, spec):
+        """The analyzer's per-strip MAC workload must agree with the
+        model layer's independently derived MAC counts."""
+        program = compile_spec(spec).program
+        counts = static_counts(program, tuple(spec.trip_profile))
+        mac = analyze_kernel(spec.name, measure=False).mac.counts
+        assert counts.per_strip.f_add == mac.f_add
+        assert counts.per_strip.f_mul == mac.f_mul
+        assert counts.per_strip.loads == mac.loads
+        assert counts.per_strip.stores == mac.stores
+
+
+class TestErrorGate:
+    def test_case_study_kernels_have_zero_errors(self):
+        for spec in CASE_STUDY_KERNELS:
+            compiled = compile_spec(spec)
+            findings = lint_program(
+                compiled.program,
+                LintOptions(trips=tuple(spec.trip_profile)),
+            )
+            errors = [
+                f.format() for f in findings
+                if f.severity >= Severity.ERROR
+            ]
+            assert errors == [], spec.name
+
+    def test_verify_option_accepts_all_kernels(self):
+        options = CompilerOptions(verify=True)
+        for spec in CASE_STUDY_KERNELS:
+            compiled = compile_spec(spec, options)
+            assert compiled.program is not None

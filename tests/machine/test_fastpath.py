@@ -214,6 +214,17 @@ class TestRunnerCaches:
         # the cached run is re-verified on demand, not re-simulated
         assert run_kernel(spec, verify=True) is run_kernel(spec)
 
+    def test_clear_caches_resets_analysis_memo(self):
+        from repro import analysis
+
+        program = compile_spec(kernel("lfk1")).program
+        first = analysis.analyze_program(program)
+        assert analysis.analysis_cache_size() >= 1
+        assert analysis.analyze_program(program) is first
+        clear_caches()
+        assert analysis.analysis_cache_size() == 0
+        assert analysis.analyze_program(program) is not first
+
     def test_sized_variants_not_conflated(self):
         base = kernel("lfk1")
         small = dataclasses.replace(

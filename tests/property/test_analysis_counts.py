@@ -1,0 +1,71 @@
+"""Property tests: random generated loops through the static analyzer.
+
+Two invariants over the generator's whole output space:
+
+* the analyzer (CFG + dataflow + linter) never crashes and never
+  reports an error-severity finding on compiler-emitted code;
+* the static counter oracle predicts the simulator's observed
+  ``flops`` / ``vector_memory_ops`` / ``vector_instructions``
+  counters exactly.
+"""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    LintOptions,
+    Severity,
+    lint_program,
+    static_counts,
+    static_critical_path,
+)
+from repro.compiler import compile_kernel
+from repro.machine import Simulator
+from repro.workloads import generate_loop
+
+
+def simulate(generated, data_seed):
+    compiled = compile_kernel(generated.source, "prop")
+    sim = Simulator(compiled.program)
+    data = generated.make_data(random.Random(data_seed))
+    for name, values in compiled.initial_data(data).items():
+        sim.load_symbol(name, values)
+    sim.memory.load_array(
+        compiled.scalar_word_offset("n"),
+        np.asarray([float(generated.n)]),
+    )
+    for name, value in generated.scalars.items():
+        sim.memory.load_array(
+            compiled.scalar_word_offset(name), np.asarray([value])
+        )
+    return compiled, sim.run()
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_analyzer_accepts_generated_loops(seed):
+    generated = generate_loop(seed)
+    compiled = compile_kernel(generated.source, "prop")
+    findings = lint_program(
+        compiled.program, LintOptions(trips=(generated.n,))
+    )
+    errors = [
+        f.format() for f in findings if f.severity >= Severity.ERROR
+    ]
+    assert errors == []
+    path = static_critical_path(compiled.program, (generated.n,))
+    assert path.chime_count >= 1
+    assert path.estimated_cycles > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), data_seed=st.integers(0, 10_000))
+def test_static_counts_match_simulator(seed, data_seed):
+    generated = generate_loop(seed)
+    compiled, result = simulate(generated, data_seed)
+    counts = static_counts(compiled.program, (generated.n,))
+    assert counts.flops == result.flops
+    assert counts.vector_memory_ops == result.vector_memory_ops
+    assert counts.vector_instructions == result.vector_instructions

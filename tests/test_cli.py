@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -47,3 +49,54 @@ class TestCommands:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestLintCommand:
+    def test_lint_kernel_is_clean(self, capsys):
+        assert main(["lint", "lfk1"]) == 0
+        out = capsys.readouterr().out
+        assert "lfk1: 0 error(s)" in out
+
+    def test_lint_all_workloads_clean(self, capsys):
+        assert main(["lint", "all"]) == 0
+        out = capsys.readouterr().out
+        assert "sdot_long: 0 error(s)" in out
+
+    def test_lint_resolves_excluded_kernels(self, capsys):
+        assert main(["lint", "lfk5"]) == 0
+
+    def test_lint_json_output(self, capsys):
+        assert main(["lint", "lfk2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["kernel"] == "lfk2"
+        assert payload[0]["errors"] == 0
+        for finding in payload[0]["findings"]:
+            assert finding["severity"] in ("info", "warning", "error")
+
+    def test_lint_min_severity_filters(self, capsys):
+        # lfk2 carries INFO findings (the ivdep override pattern)
+        assert main(["lint", "lfk2"]) == 0
+        assert "[mem-overlap]" in capsys.readouterr().out
+        assert main(["lint", "lfk2", "--min-severity", "warning"]) == 0
+        assert "[mem-overlap]" not in capsys.readouterr().out
+
+    def test_lint_bad_severity_rejected(self, capsys):
+        assert main(["lint", "lfk1", "--min-severity", "bogus"]) == 2
+        assert "unknown severity" in capsys.readouterr().err
+
+    def test_lint_unknown_workload(self, capsys):
+        assert main(["lint", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_strict_passes_clean_kernel(self, capsys):
+        assert main(["compile", "lfk3", "--strict"]) == 0
+        assert "ld.l" in capsys.readouterr().out
+
+    def test_run_lint_gate_passes(self, capsys):
+        assert main(["run", "lfk1", "--lint", "--no-verify"]) == 0
+        assert "CPF" in capsys.readouterr().out
+
+    def test_experiment_static_summary(self, capsys):
+        assert main(["experiment", "static-summary"]) == 0
+        out = capsys.readouterr().out
+        assert "yes" in out and "DIVERGE" not in out

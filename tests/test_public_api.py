@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.model",
     "repro.workloads",
     "repro.experiments",
+    "repro.analysis",
 ]
 
 
