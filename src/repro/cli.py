@@ -9,6 +9,7 @@ Subcommands::
     macs-repro compile lfk8              # show generated assembly
     macs-repro lint lfk1                 # static dataflow lint
     macs-repro run lfk3                  # simulate and report cycles
+    macs-repro sweep --jobs 4            # parallel workload x option grid
 """
 
 from __future__ import annotations
@@ -44,7 +45,18 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _apply_sweep_flags(args) -> None:
+    """Install --jobs/--trace as the process-wide sweep defaults."""
+    from .sweep import set_sweep_defaults
+
+    trace = getattr(args, "trace", None)
+    if trace:
+        open(trace, "w", encoding="utf-8").close()  # fresh trace
+    set_sweep_defaults(jobs=getattr(args, "jobs", None), trace=trace)
+
+
 def _cmd_experiment(args) -> int:
+    _apply_sweep_flags(args)
     if args.name == "all":
         for name, run in EXPERIMENTS.items():
             print(run().render())
@@ -167,13 +179,148 @@ def _cmd_svg(args) -> int:
 def _cmd_report(args) -> int:
     from .experiments.report import write_report
 
+    _apply_sweep_flags(args)
     names = args.experiments if args.experiments else None
     path = write_report(args.out, names)
     print(f"wrote {path}")
     return 0
 
 
+def _parse_options_string(text: str):
+    """Parse ``--options "key=value,key=value"`` into CompilerOptions.
+
+    Booleans accept true/false/1/0/yes/no; ``reduction_style`` takes
+    the enum values (auto, partial-sums, direct-sum).  Raises
+    :class:`ValueError` with an actionable message on malformed input.
+    """
+    import dataclasses as _dataclasses
+
+    from .compiler.options import DEFAULT_OPTIONS, ReductionStyle
+
+    fields = {
+        f.name: f.type for f in _dataclasses.fields(DEFAULT_OPTIONS)
+    }
+    changes = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, separator, raw = item.partition("=")
+        name = name.strip().replace("-", "_")
+        raw = raw.strip()
+        if not separator or not name or not raw:
+            raise ValueError(
+                f"malformed --options item {item!r}; expected key=value"
+            )
+        if name not in fields:
+            raise ValueError(
+                f"unknown compiler option {name!r}; known: "
+                f"{', '.join(sorted(fields))}"
+            )
+        default = getattr(DEFAULT_OPTIONS, name)
+        if isinstance(default, bool):
+            lowered = raw.lower()
+            if lowered in ("true", "1", "yes"):
+                changes[name] = True
+            elif lowered in ("false", "0", "no"):
+                changes[name] = False
+            else:
+                raise ValueError(
+                    f"option {name!r} expects a boolean, got {raw!r}"
+                )
+        elif isinstance(default, int):
+            try:
+                changes[name] = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"option {name!r} expects an integer, got {raw!r}"
+                ) from None
+        elif isinstance(default, ReductionStyle):
+            try:
+                changes[name] = ReductionStyle(raw)
+            except ValueError:
+                raise ValueError(
+                    f"option {name!r} expects one of "
+                    f"{[s.value for s in ReductionStyle]}, got {raw!r}"
+                ) from None
+        else:
+            changes[name] = raw
+    return DEFAULT_OPTIONS.replace(**changes)
+
+
+def _cmd_sweep(args) -> int:
+    from .sweep import OPTION_VARIANTS, SweepSpec, run_sweep, summarize_trace
+
+    if args.options is not None and args.variants != "all":
+        print(
+            "error: --options and --variants are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.options is not None:
+        try:
+            variants = {"custom": _parse_options_string(args.options)}
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.variants == "all":
+        variants = dict(OPTION_VARIANTS)
+    else:
+        variants = {}
+        for name in args.variants.split(","):
+            name = name.strip()
+            if name not in OPTION_VARIANTS:
+                print(
+                    f"error: unknown option variant {name!r}; known: "
+                    f"{', '.join(OPTION_VARIANTS)}",
+                    file=sys.stderr,
+                )
+                return 2
+            variants[name] = OPTION_VARIANTS[name]
+    config = DEFAULT_CONFIG
+    if args.no_fastpath:
+        config = config.without_fastpath()
+    names = tuple(args.kernels) if args.kernels else workload_names()
+    for name in names:
+        workload(name)  # fail fast on unknown workloads
+    spec = SweepSpec.build(names, variants=variants,
+                           configs={"base": config})
+    result = run_sweep(
+        spec,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        checkpoint=args.checkpoint,
+        trace=args.trace,
+    )
+    print(result.table())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.results_jsonl())
+        print(f"wrote {args.out}")
+    # The operator summary is computed from the emitted JSONL trace
+    # (read back from disk when --trace was given); it carries timing,
+    # so it goes to stderr and stdout stays deterministic.
+    summary = (
+        summarize_trace(args.trace) if args.trace
+        else result.summary()
+    )
+    print(summary, file=sys.stderr)
+    # Deterministic per-cell errors (e.g. a variant that cannot
+    # compile a kernel) are reported as results; only infrastructure
+    # failures (crashes/timeouts past the retry budget) fail the sweep.
+    crashed = any(o.status == "failed" for o in result.outcomes)
+    return 1 if crashed else 0
+
+
 def _cmd_run(args) -> int:
+    if args.profile and args.no_fastpath:
+        print(
+            "error: --profile reports fast-path statistics and "
+            "conflicts with --no-fastpath; drop one of them",
+            file=sys.stderr,
+        )
+        return 2
     config = DEFAULT_CONFIG
     if args.no_fastpath:
         config = config.without_fastpath()
@@ -260,10 +407,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list experiments and kernels")
 
+    def add_parallel_flags(command) -> None:
+        command.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for kernel sweeps (default 1)",
+        )
+        command.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write a JSONL telemetry trace to PATH",
+        )
+
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
     )
     experiment.add_argument("name", help="experiment name, or 'all'")
+    add_parallel_flags(experiment)
 
     analyze = sub.add_parser(
         "analyze", help="full MACS hierarchy for one kernel"
@@ -314,6 +472,46 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", nargs="*",
         help="subset of experiments (default: all)",
     )
+    add_parallel_flags(report_cmd)
+
+    sweep_cmd = sub.add_parser(
+        "sweep",
+        help="batch-simulate a (workload x options) grid in parallel",
+    )
+    sweep_cmd.add_argument(
+        "kernels", nargs="*",
+        help="workloads to sweep (default: all of them)",
+    )
+    add_parallel_flags(sweep_cmd)
+    sweep_cmd.add_argument(
+        "--variants", default="all", metavar="NAMES",
+        help="comma-separated option-variant names (default: all six)",
+    )
+    sweep_cmd.add_argument(
+        "--options", default=None, metavar="KV",
+        help="custom compiler options as 'key=value,...' "
+        "(mutually exclusive with --variants)",
+    )
+    sweep_cmd.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write deterministic results JSONL to PATH",
+    )
+    sweep_cmd.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="append completed cells to PATH and skip them on re-run",
+    )
+    sweep_cmd.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-task timeout (parallel mode; default: none)",
+    )
+    sweep_cmd.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retry budget per task for crashes/timeouts (default 2)",
+    )
+    sweep_cmd.add_argument(
+        "--no-fastpath", action="store_true",
+        help="disable the steady-state fast path for every cell",
+    )
 
     run_cmd = sub.add_parser("run", help="simulate one kernel")
     run_cmd.add_argument("kernel")
@@ -350,6 +548,7 @@ def main(argv: list[str] | None = None) -> int:
         "compile": _cmd_compile,
         "lint": _cmd_lint,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
     }
     try:
         return handlers[args.command](args)

@@ -12,18 +12,21 @@ MACS bound and/or the simulated run time move across the workload:
   bound;
 * **scalar splits** — ignore scalar-memory chime splitting in the
   bound (isolates the LFK8 effect).
+
+Every ablation is expressed as a two-column sweep grid (baseline vs
+ablated cell per kernel) executed through
+:func:`repro.sweep.grid_outcomes`, so ``--jobs``/``--trace`` apply.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..compiler import CompilerOptions, DEFAULT_OPTIONS
-from ..isa.timing import default_timing_table
+from ..compiler import DEFAULT_OPTIONS
 from ..machine import DEFAULT_CONFIG, MachineConfig
-from ..model import analyze_kernel, macs_bound
 from ..schedule import ChimeRules
-from ..workloads import CASE_STUDY_KERNELS, compile_spec, run_kernel
+from ..sweep import SweepTask, grid_outcomes
+from ..workloads import CASE_STUDY_KERNELS
 from .formatting import ExperimentResult, TextTable
 
 
@@ -50,19 +53,37 @@ def _table(rows: list[AblationRow], value_name: str) -> TextTable:
     return table
 
 
+def _paired_rows(make_base, make_ablated) -> list[AblationRow]:
+    """Run (baseline, ablated) cells for every case-study kernel as one
+    sweep grid and zip the CPL pairs back into rows."""
+    tasks = []
+    for spec in CASE_STUDY_KERNELS:
+        tasks.append(make_base(spec))
+        tasks.append(make_ablated(spec))
+    outcomes = grid_outcomes(tasks)
+    rows = []
+    for index, spec in enumerate(CASE_STUDY_KERNELS):
+        base = outcomes[2 * index].metrics["cpl"]
+        ablated = outcomes[2 * index + 1].metrics["cpl"]
+        rows.append(AblationRow(spec.number, base, ablated))
+    return rows
+
+
 def run_ablation_bubbles(
     config: MachineConfig = DEFAULT_CONFIG,
 ) -> ExperimentResult:
     """MACS bound and measured time without tailgating bubbles."""
-    rows = []
     no_bubbles = config.without_bubbles()
-    for spec in CASE_STUDY_KERNELS:
-        compiled = compile_spec(spec)
-        base = macs_bound(compiled.program).cpl
-        ablated = macs_bound(
-            compiled.program, timings=no_bubbles.timings
-        ).cpl
-        rows.append(AblationRow(spec.number, base, ablated))
+    rows = _paired_rows(
+        lambda spec: SweepTask(
+            spec.name, mode="bound", config=config,
+            tags=(("case", "base"),),
+        ),
+        lambda spec: SweepTask(
+            spec.name, mode="bound", config=no_bubbles,
+            tags=(("case", "no-bubbles"),),
+        ),
+    )
     return ExperimentResult(
         artifact="Ablation",
         title="t_MACS without tailgating bubbles (B = 0)",
@@ -76,13 +97,16 @@ def run_ablation_refresh(
     config: MachineConfig = DEFAULT_CONFIG,
 ) -> ExperimentResult:
     """Measured run time with the memory refresh disabled."""
-    rows = []
-    for spec in CASE_STUDY_KERNELS:
-        base = run_kernel(spec, config=config).cpl()
-        ablated = run_kernel(
-            spec, config=config.without_refresh()
-        ).cpl()
-        rows.append(AblationRow(spec.number, base, ablated))
+    no_refresh = config.without_refresh()
+    rows = _paired_rows(
+        lambda spec: SweepTask(
+            spec.name, config=config, tags=(("case", "base"),),
+        ),
+        lambda spec: SweepTask(
+            spec.name, config=no_refresh,
+            tags=(("case", "no-refresh"),),
+        ),
+    )
     return ExperimentResult(
         artifact="Ablation",
         title="measured t_p without memory refresh",
@@ -96,14 +120,17 @@ def run_ablation_reuse(
     config: MachineConfig = DEFAULT_CONFIG,
 ) -> ExperimentResult:
     """MAC bound with an ideal compiler that reuses shifted streams."""
-    rows = []
     ideal = DEFAULT_OPTIONS.replace(reuse_shifted_loads=True)
-    for spec in CASE_STUDY_KERNELS:
-        base = analyze_kernel(spec, measure=False).mac.cpl
-        ablated = analyze_kernel(
-            spec, options=ideal, measure=False
-        ).mac.cpl
-        rows.append(AblationRow(spec.number, base, ablated))
+    rows = _paired_rows(
+        lambda spec: SweepTask(
+            spec.name, mode="mac", config=config,
+            tags=(("case", "base"),),
+        ),
+        lambda spec: SweepTask(
+            spec.name, mode="mac", options=ideal, config=config,
+            tags=(("case", "reuse"),),
+        ),
+    )
     return ExperimentResult(
         artifact="Ablation",
         title="t_MAC with ideal shifted-stream reuse",
@@ -120,13 +147,16 @@ def run_ablation_reuse(
 
 def run_ablation_pairs() -> ExperimentResult:
     """MACS bound without the register-pair chime constraint."""
-    rows = []
     relaxed = ChimeRules(enforce_register_pairs=False)
-    for spec in CASE_STUDY_KERNELS:
-        compiled = compile_spec(spec)
-        base = macs_bound(compiled.program).cpl
-        ablated = macs_bound(compiled.program, rules=relaxed).cpl
-        rows.append(AblationRow(spec.number, base, ablated))
+    rows = _paired_rows(
+        lambda spec: SweepTask(
+            spec.name, mode="bound", tags=(("case", "base"),),
+        ),
+        lambda spec: SweepTask(
+            spec.name, mode="bound", rules=relaxed,
+            tags=(("case", "no-pairs"),),
+        ),
+    )
     return ExperimentResult(
         artifact="Ablation",
         title="t_MACS without the 2-read/1-write register-pair rule",
@@ -137,13 +167,16 @@ def run_ablation_pairs() -> ExperimentResult:
 
 def run_ablation_scalar_splits() -> ExperimentResult:
     """MACS bound without scalar-memory chime splitting."""
-    rows = []
     relaxed = ChimeRules(scalar_memory_splits=False)
-    for spec in CASE_STUDY_KERNELS:
-        compiled = compile_spec(spec)
-        base = macs_bound(compiled.program).cpl
-        ablated = macs_bound(compiled.program, rules=relaxed).cpl
-        rows.append(AblationRow(spec.number, base, ablated))
+    rows = _paired_rows(
+        lambda spec: SweepTask(
+            spec.name, mode="bound", tags=(("case", "base"),),
+        ),
+        lambda spec: SweepTask(
+            spec.name, mode="bound", rules=relaxed,
+            tags=(("case", "no-splits"),),
+        ),
+    )
     return ExperimentResult(
         artifact="Ablation",
         title="t_MACS without scalar-memory chime splits",

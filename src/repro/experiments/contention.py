@@ -18,11 +18,19 @@ from ..machine import (
     WorkloadMix,
     contention_factor_for_load,
 )
-from ..workloads import kernel, run_kernel
+from ..sweep import SweepTask, grid_outcomes
 from .formatting import ExperimentResult, TextTable
 
 #: Kernels representative of memory-bound and fp-bound behaviour.
 _SWEEP_KERNELS = ("lfk1", "lfk8", "lfk12")
+
+#: The paper's narrative operating points.
+_MIX_POINTS = (
+    (WorkloadMix.IDLE, 0.0),
+    (WorkloadMix.SAME_EXECUTABLE, 4.0),
+    (WorkloadMix.DIFFERENT_PROGRAMS, 2.0),
+    (WorkloadMix.DIFFERENT_PROGRAMS, 5.1),
+)
 
 
 def run_contention(
@@ -32,27 +40,33 @@ def run_contention(
     table = TextTable(
         ["kernel", "mix", "load", "access ns", "CPF", "degr%"]
     )
-    data = []
+    tasks = []
     for name in _SWEEP_KERNELS:
-        spec = kernel(name)
-        baseline = run_kernel(spec, options, config)
-        base_cpf = baseline.cpf()
-        for mix, load in (
-            (WorkloadMix.IDLE, 0.0),
-            (WorkloadMix.SAME_EXECUTABLE, 4.0),
-            (WorkloadMix.DIFFERENT_PROGRAMS, 2.0),
-            (WorkloadMix.DIFFERENT_PROGRAMS, 5.1),
-        ):
+        tasks.append(
+            SweepTask(name, options, config,
+                      tags=(("case", "baseline"),))
+        )
+        for mix, load in _MIX_POINTS:
             factor = contention_factor_for_load(mix, load)
-            run = run_kernel(
-                spec, options, config.with_contention(factor),
-                compiled=baseline.compiled,
+            tasks.append(
+                SweepTask(
+                    name, options, config.with_contention(factor),
+                    tags=(("mix", mix.value), ("load", str(load))),
+                )
             )
-            degradation = 100.0 * (run.cpf() / base_cpf - 1.0)
+    outcomes = grid_outcomes(tasks)
+    data = []
+    stride = 1 + len(_MIX_POINTS)
+    for i, name in enumerate(_SWEEP_KERNELS):
+        base_cpf = outcomes[i * stride].metrics["cpf"]
+        for j, (mix, load) in enumerate(_MIX_POINTS):
+            cpf = outcomes[i * stride + 1 + j].metrics["cpf"]
+            factor = contention_factor_for_load(mix, load)
+            degradation = 100.0 * (cpf / base_cpf - 1.0)
             table.add_row(
                 name, mix.value, load,
                 f"{40.0 * factor:.0f}",
-                run.cpf(), f"{degradation:.1f}",
+                cpf, f"{degradation:.1f}",
             )
             data.append(
                 {
@@ -60,7 +74,7 @@ def run_contention(
                     "mix": mix.value,
                     "load_average": load,
                     "factor": factor,
-                    "cpf": run.cpf(),
+                    "cpf": cpf,
                     "degradation_percent": degradation,
                 }
             )

@@ -15,26 +15,14 @@ and prologue cost a few hundred cycles.
 
 from __future__ import annotations
 
-import dataclasses
-
 from ..compiler import CompilerOptions, DEFAULT_OPTIONS
 from ..errors import ExperimentError
 from ..machine import DEFAULT_CONFIG, MachineConfig
-from ..workloads import kernel, run_kernel
+from ..sweep import SweepTask, grid_outcomes
 from .formatting import ExperimentResult, TextTable
 
 #: Problem sizes swept (source iterations).
 SWEEP_SIZES = (8, 16, 32, 64, 128, 256, 512, 1000)
-
-
-def _sized_spec(base, n: int):
-    """The same kernel at a different problem size."""
-    return dataclasses.replace(
-        base,
-        scalar_inputs={**base.scalar_inputs, "n": n},
-        inner_iterations=n,
-        trip_profile=(n,),
-    )
 
 
 def n_half_from_curve(points: list[tuple[int, float]]) -> float:
@@ -71,14 +59,16 @@ def run_vector_length_study(
 ) -> ExperimentResult:
     table = TextTable(["kernel"] + [f"n={n}" for n in SWEEP_SIZES]
                       + ["n_1/2"])
+    tasks = [
+        SweepTask(name, options, config, n=n)
+        for name in kernels
+        for n in SWEEP_SIZES
+    ]
+    outcomes = grid_outcomes(tasks)
     curves = {}
-    for name in kernels:
-        base = kernel(name)
-        points = []
-        for n in SWEEP_SIZES:
-            spec = _sized_spec(base, n)
-            run = run_kernel(spec, options, config)
-            points.append((n, run.cpf()))
+    for i, name in enumerate(kernels):
+        row = outcomes[i * len(SWEEP_SIZES):(i + 1) * len(SWEEP_SIZES)]
+        points = [(o.n, o.metrics["cpf"]) for o in row]
         n_half = n_half_from_curve(points)
         curves[name] = {"points": points, "n_half": n_half}
         table.add_row(

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..isa.program import Program
+from ..sweep import telemetry
 from .cache import CacheStats
 from .config import DEFAULT_CONFIG, MachineConfig
 from .fastpath import FastPathEngine, FastPathStats
@@ -205,6 +206,19 @@ class Simulator:
                         fast.on_branch(pc, False, executed)
                     pc += 1
 
+        if telemetry.current() is not None:
+            telemetry.record_counters(
+                {
+                    "runs": 1,
+                    "cycles": state.finish_time(),
+                    "instructions": executed,
+                    "vector_instructions": vector_count,
+                    "scalar_instructions": scalar_count,
+                    "vector_memory_ops": vector_memory,
+                    "scalar_memory_ops": scalar_memory,
+                    "flops": flops,
+                }
+            )
         return SimulationResult(
             program_name=program.name,
             cycles=state.finish_time(),

@@ -1,0 +1,60 @@
+"""Sweep defaults shared by the CLI and the experiment harnesses.
+
+The CLI sets a process-wide default parallelism/trace once
+(``macs-repro experiment table4 --jobs 4 --trace t.jsonl``); ported
+experiments then route their kernel grids through :func:`grid_outcomes`
+without each one growing ``jobs=``/``trace=`` plumbing.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from .scheduler import TaskOutcome, run_sweep
+from .spec import SweepTask
+
+_DEFAULT_JOBS = 1
+_DEFAULT_TRACE: str | None = None
+
+
+def set_sweep_defaults(jobs: int | None = None,
+                       trace: str | None = None) -> None:
+    """Install process-wide defaults for experiment-driven sweeps."""
+    global _DEFAULT_JOBS, _DEFAULT_TRACE
+    if jobs is not None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        _DEFAULT_JOBS = jobs
+    _DEFAULT_TRACE = trace
+
+
+def reset_sweep_defaults() -> None:
+    global _DEFAULT_JOBS, _DEFAULT_TRACE
+    _DEFAULT_JOBS = 1
+    _DEFAULT_TRACE = None
+
+
+def sweep_defaults() -> tuple[int, str | None]:
+    return _DEFAULT_JOBS, _DEFAULT_TRACE
+
+
+def grid_outcomes(tasks: list[SweepTask],
+                  jobs: int | None = None) -> list[TaskOutcome]:
+    """Run an experiment's grid under the process-wide defaults.
+
+    Returns outcomes in grid order and raises on any failed cell —
+    experiments build tables from every cell, so partial grids are an
+    error, not a row of dashes.
+    """
+    result = run_sweep(
+        tasks,
+        jobs=_DEFAULT_JOBS if jobs is None else jobs,
+        trace=_DEFAULT_TRACE,
+    )
+    bad = result.failed
+    if bad:
+        first = bad[0]
+        raise ExperimentError(
+            f"{len(bad)} sweep cell(s) failed; first: "
+            f"{first.label}: {first.error}"
+        )
+    return result.outcomes

@@ -1,0 +1,54 @@
+"""Sweep checkpoint/resume.
+
+A checkpoint is an append-only JSONL file of deterministic task result
+payloads (the same dicts :meth:`TaskOutcome.result_dict` produces and
+``--out`` writes).  The scheduler appends one line as each cell
+completes; on the next run with the same path, cells whose keys are
+already present with a reusable status are skipped.  Because task keys
+are content digests, editing the grid between runs is safe — only the
+still-matching cells are reused.
+
+``"failed"`` entries (worker crashes / timeouts that exhausted their
+retries) are *not* reused: those are exactly the cells a resume is
+meant to retry.  A later success for the same key appends a new line;
+:meth:`Checkpoint.load` keeps the last entry per key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..errors import ExperimentError
+
+
+class Checkpoint:
+    """Append-only JSONL store of completed sweep cells."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def load(self) -> dict[str, dict]:
+        """Completed payloads by task key (last entry per key wins)."""
+        if not os.path.exists(self.path):
+            return {}
+        entries: dict[str, dict] = {}
+        with open(self.path, encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    key = payload["key"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    raise ExperimentError(
+                        f"{self.path}:{number}: corrupt checkpoint "
+                        "line; delete the file to start fresh"
+                    ) from None
+                entries[key] = payload
+        return entries
+
+    def append(self, payload: dict) -> None:
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")

@@ -16,6 +16,8 @@ both caches (useful when benchmarking the simulator itself).
 
 from __future__ import annotations
 
+import dataclasses
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -24,6 +26,7 @@ import numpy as np
 from ..compiler import CompiledKernel, CompilerOptions, DEFAULT_OPTIONS, compile_kernel
 from ..errors import WorkloadError
 from ..machine import DEFAULT_CONFIG, MachineConfig, SimulationResult, Simulator
+from ..sweep import telemetry
 from ..units import MAX_VL, cycles_per_vector_iteration
 from .lfk import KernelSpec, kernel
 
@@ -36,7 +39,8 @@ _RUN_CACHE_MAX = 256
 
 
 def clear_caches() -> None:
-    """Drop all memoized compilations, runs, analyses, and A/X data."""
+    """Drop all memoized compilations, runs, analyses, and A/X data,
+    and deactivate any telemetry collector left over from a sweep."""
     _COMPILE_CACHE.clear()
     _RUN_CACHE.clear()
     from ..analysis import clear_analysis_cache
@@ -44,6 +48,15 @@ def clear_caches() -> None:
 
     ax._AX_CACHE.clear()
     clear_analysis_cache()
+    telemetry.reset()
+
+
+# The memo tables must not leak across forked workers: a child that
+# inherits the parent's caches would keep serving (and LRU-mutating)
+# objects the parent still owns, and an inherited telemetry collector
+# would write into the parent's trace file descriptor.  Every sweep
+# worker therefore starts cold.
+os.register_at_fork(after_in_child=clear_caches)
 
 
 def _cache_get(cache: OrderedDict, key):
@@ -66,9 +79,10 @@ def compile_spec(
     key = (spec.source, spec.name, spec.ivdep, options)
     compiled = _cache_get(_COMPILE_CACHE, key)
     if compiled is None:
-        compiled = compile_kernel(
-            spec.source, spec.name, options.replace(ivdep=spec.ivdep)
-        )
+        with telemetry.stage("compile"):
+            compiled = compile_kernel(
+                spec.source, spec.name, options.replace(ivdep=spec.ivdep)
+            )
         _cache_put(_COMPILE_CACHE, key, compiled, _COMPILE_CACHE_MAX)
     return compiled
 
@@ -167,6 +181,23 @@ def prepare_simulator(
     return sim
 
 
+def sized_spec(base: KernelSpec, n: int) -> KernelSpec:
+    """The same single-loop kernel at a different problem size ``n``.
+
+    Used by the vector-length study and by sweep grids with a size
+    axis; only meaningful for kernels whose trip profile is their
+    ``n`` scalar input.
+    """
+    if n <= 0:
+        raise WorkloadError(f"problem size must be positive, got {n}")
+    return dataclasses.replace(
+        base,
+        scalar_inputs={**base.scalar_inputs, "n": n},
+        inner_iterations=n,
+        trip_profile=(n,),
+    )
+
+
 def _spec_key(spec: KernelSpec) -> tuple:
     """Content key for a spec (covers everything a run depends on)."""
     return (
@@ -209,8 +240,9 @@ def run_kernel(
                 _RUN_CACHE[key] = (run, True)
             return run
         compiled = compile_spec(spec, options)
-    sim = prepare_simulator(spec, compiled, config)
-    result = sim.run()
+    with telemetry.stage("simulate"):
+        sim = prepare_simulator(spec, compiled, config)
+        result = sim.run()
     outputs: dict[str, np.ndarray | float] = {}
     for name in spec.output_arrays:
         outputs[name] = sim.dump_symbol(name)
@@ -220,7 +252,8 @@ def run_kernel(
     run = KernelRun(spec=spec, compiled=compiled, result=result,
                     outputs=outputs)
     if verify:
-        run.verify()
+        with telemetry.stage("verify"):
+            run.verify()
     if key is not None:
         _cache_put(_RUN_CACHE, key, (run, verify), _RUN_CACHE_MAX)
     return run

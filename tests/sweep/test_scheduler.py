@@ -1,0 +1,168 @@
+"""Scheduler behaviour: determinism, checkpointing, telemetry."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.sweep import (
+    OPTION_VARIANTS,
+    SweepSpec,
+    SweepTask,
+    grid_outcomes,
+    run_sweep,
+    summarize_trace,
+)
+from repro.sweep.telemetry import read_trace
+from repro.workloads import run_kernel, workload
+
+SMALL_GRID = SweepSpec.build(
+    ["lfk1", "lfk12"],
+    variants={
+        "default": OPTION_VARIANTS["default"],
+        "reuse": OPTION_VARIANTS["reuse"],
+    },
+)
+
+
+class TestSequential:
+    def test_matches_direct_run_kernel(self):
+        result = run_sweep(SMALL_GRID, jobs=1)
+        assert all(o.ok for o in result.outcomes)
+        for outcome in result.outcomes:
+            run = run_kernel(
+                workload(outcome.workload),
+                dict(SMALL_GRID.variants)[outcome.tags["variant"]],
+            )
+            assert outcome.metrics["cycles"] == run.result.cycles
+            assert outcome.metrics["cpl"] == run.cpl()
+            assert outcome.metrics["flops"] == run.result.flops
+
+    def test_outcomes_in_grid_order(self):
+        result = run_sweep(SMALL_GRID, jobs=1)
+        assert [o.index for o in result.outcomes] == [0, 1, 2, 3]
+        labels = [o.label for o in result.outcomes]
+        assert labels == [
+            "lfk1/default/base", "lfk1/reuse/base",
+            "lfk12/default/base", "lfk12/reuse/base",
+        ]
+
+    def test_run_cache_hits_are_tagged_in_trace(self):
+        run_sweep(SMALL_GRID, jobs=1)  # warm the process-wide cache
+        result = run_sweep(SMALL_GRID, jobs=1)
+        assert all(o.status == "cached" for o in result.outcomes)
+        # ... but the deterministic payload normalizes them to "ok"
+        for line in result.results_jsonl().splitlines():
+            assert json.loads(line)["status"] == "ok"
+
+    def test_bound_mode_tasks(self):
+        from repro.model import macs_bound
+        from repro.workloads import compile_spec
+
+        result = run_sweep([SweepTask("lfk1", mode="bound")], jobs=1)
+        expected = macs_bound(
+            compile_spec(workload("lfk1")).program
+        ).cpl
+        assert result.outcomes[0].metrics == {"cpl": expected}
+
+    def test_compile_error_is_deterministic_error_outcome(self):
+        task = SweepTask("lfk4", OPTION_VARIANTS["tight-sregs"])
+        result = run_sweep([task], jobs=1, retries=5)
+        outcome = result.outcomes[0]
+        assert outcome.status == "error"
+        assert outcome.attempts == 1  # deterministic: never retried
+        assert "CompileError" in outcome.error
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_sweep(SMALL_GRID, jobs=0)
+
+
+class TestTrace:
+    def test_trace_jsonl_roundtrip_and_summary(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        result = run_sweep(SMALL_GRID, jobs=1, trace=str(trace))
+        events = read_trace(str(trace))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "sweep_start"
+        assert kinds[-1] == "sweep_end"
+        assert kinds.count("task_end") == 4
+        ends = [e for e in events if e["event"] == "task_end"]
+        for event in ends:
+            assert set(event) >= {
+                "t", "key", "task", "status", "attempt", "wall_s",
+                "pid", "stages", "counters",
+            }
+        # the summary table is computed from the trace itself
+        summary = summarize_trace(str(trace))
+        assert "tasks ok" in summary
+        assert summary == result.summary()
+
+    def test_simulator_counters_aggregated(self, tmp_path):
+        from repro.workloads import clear_caches
+
+        clear_caches()  # cached cells skip the simulator entirely
+        trace = tmp_path / "trace.jsonl"
+        run_sweep(SMALL_GRID, jobs=1, trace=str(trace))
+        summary = summarize_trace(str(trace))
+        assert "total flops" in summary
+        assert "stage simulate" in summary
+
+
+class TestCheckpoint:
+    def test_resume_skips_completed_cells(self, tmp_path):
+        ckpt = tmp_path / "ckpt.jsonl"
+        first = run_sweep(SMALL_GRID, jobs=1, checkpoint=str(ckpt))
+        assert ckpt.exists()
+        trace = tmp_path / "trace.jsonl"
+        second = run_sweep(
+            SMALL_GRID, jobs=1, checkpoint=str(ckpt),
+            trace=str(trace),
+        )
+        events = read_trace(str(trace))
+        skips = [e for e in events if e["event"] == "checkpoint_skip"]
+        assert len(skips) == 4
+        assert not any(e["event"] == "task_end" for e in events)
+        assert second.results_jsonl() == first.results_jsonl()
+
+    def test_partial_checkpoint_runs_remaining(self, tmp_path):
+        ckpt = tmp_path / "ckpt.jsonl"
+        tasks = SMALL_GRID.expand()
+        run_sweep(tasks[:2], jobs=1, checkpoint=str(ckpt))
+        result = run_sweep(tasks, jobs=1, checkpoint=str(ckpt))
+        assert len(result.outcomes) == 4
+        assert all(o.ok for o in result.outcomes)
+
+    def test_corrupt_checkpoint_is_actionable(self, tmp_path):
+        ckpt = tmp_path / "ckpt.jsonl"
+        ckpt.write_text("not json\n")
+        with pytest.raises(ExperimentError, match="corrupt checkpoint"):
+            run_sweep(SMALL_GRID, jobs=1, checkpoint=str(ckpt))
+
+
+class TestParallel:
+    def test_parallel_results_byte_identical(self):
+        sequential = run_sweep(SMALL_GRID, jobs=1)
+        parallel = run_sweep(SMALL_GRID, jobs=2)
+        assert parallel.results_jsonl() == sequential.results_jsonl()
+        assert parallel.table() == sequential.table()
+
+    def test_parallel_checkpoint_resume(self, tmp_path):
+        ckpt = tmp_path / "ckpt.jsonl"
+        first = run_sweep(SMALL_GRID, jobs=2, checkpoint=str(ckpt))
+        second = run_sweep(SMALL_GRID, jobs=2, checkpoint=str(ckpt))
+        assert second.results_jsonl() == first.results_jsonl()
+
+
+class TestGridOutcomes:
+    def test_raises_on_failed_cells(self):
+        with pytest.raises(ExperimentError, match="sweep cell"):
+            grid_outcomes(
+                [SweepTask("lfk4", OPTION_VARIANTS["tight-sregs"])]
+            )
+
+    def test_returns_grid_order(self):
+        outcomes = grid_outcomes(SMALL_GRID.expand())
+        assert [o.workload for o in outcomes] == [
+            "lfk1", "lfk1", "lfk12", "lfk12"
+        ]

@@ -5,6 +5,14 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.sweep import reset_sweep_defaults
+
+
+@pytest.fixture(autouse=True)
+def _isolate_sweep_defaults():
+    """CLI --jobs/--trace install process-wide defaults; undo them."""
+    yield
+    reset_sweep_defaults()
 
 
 class TestCommands:
@@ -49,6 +57,130 @@ class TestCommands:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestErrorPaths:
+    def test_unknown_workload_name(self, capsys):
+        assert main(["run", "nosuchkernel"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err and "nosuchkernel" in err
+
+    def test_sweep_unknown_workload_name(self, capsys):
+        assert main(["sweep", "nosuchkernel"]) == 1
+        err = capsys.readouterr().err
+        assert "nosuchkernel" in err
+
+    def test_sweep_malformed_options_no_value(self, capsys):
+        assert main(["sweep", "lfk1", "--options", "ivdep"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_sweep_malformed_options_unknown_key(self, capsys):
+        assert main(["sweep", "lfk1", "--options", "bogus=1"]) == 2
+        assert "unknown compiler option" in capsys.readouterr().err
+
+    def test_sweep_malformed_options_bad_bool(self, capsys):
+        assert main(
+            ["sweep", "lfk1", "--options", "ivdep=maybe"]
+        ) == 2
+        assert "boolean" in capsys.readouterr().err
+
+    def test_sweep_malformed_options_bad_int(self, capsys):
+        assert main(
+            ["sweep", "lfk1", "--options", "vector_length=wide"]
+        ) == 2
+        assert "integer" in capsys.readouterr().err
+
+    def test_sweep_malformed_options_bad_enum(self, capsys):
+        assert main(
+            ["sweep", "lfk1", "--options", "reduction_style=zigzag"]
+        ) == 2
+        assert "partial-sums" in capsys.readouterr().err
+
+    def test_sweep_options_conflicts_with_variants(self, capsys):
+        assert main(
+            ["sweep", "lfk1", "--variants", "reuse",
+             "--options", "ivdep=true"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sweep_unknown_variant(self, capsys):
+        assert main(["sweep", "lfk1", "--variants", "bogus"]) == 2
+        assert "unknown option variant" in capsys.readouterr().err
+
+    def test_run_profile_conflicts_with_no_fastpath(self, capsys):
+        assert main(
+            ["run", "lfk1", "--profile", "--no-fastpath"]
+        ) == 2
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_experiment_bad_jobs_value(self, capsys):
+        assert main(["experiment", "figure1", "--jobs", "0"]) == 1
+        assert "jobs" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_small_grid(self, capsys, tmp_path):
+        out = tmp_path / "results.jsonl"
+        assert main(
+            ["sweep", "lfk1", "lfk12", "--variants", "default",
+             "--out", str(out)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "lfk1/default/base" in captured.out
+        assert "tasks ok" in captured.err  # summary goes to stderr
+        lines = [
+            json.loads(line)
+            for line in out.read_text().splitlines()
+        ]
+        assert [d["workload"] for d in lines] == ["lfk1", "lfk12"]
+        assert all(d["status"] == "ok" for d in lines)
+
+    def test_sweep_jobs_match_sequential(self, capsys, tmp_path):
+        seq = tmp_path / "seq.jsonl"
+        par = tmp_path / "par.jsonl"
+        grid = ["lfk1", "lfk12", "--variants", "default,reuse"]
+        assert main(["sweep", *grid, "--out", str(seq)]) == 0
+        assert main(
+            ["sweep", *grid, "--jobs", "2", "--out", str(par)]
+        ) == 0
+        assert seq.read_bytes() == par.read_bytes()
+
+    def test_sweep_trace_feeds_summary(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["sweep", "lfk12", "--variants", "default",
+             "--trace", str(trace)]
+        ) == 0
+        events = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+        ]
+        assert events[0]["event"] == "sweep_start"
+        assert events[-1]["event"] == "sweep_end"
+        assert "wall time" in capsys.readouterr().err
+
+    def test_sweep_custom_options(self, capsys):
+        assert main(
+            ["sweep", "lfk1",
+             "--options", "reuse_shifted_loads=true,vector_length=64"]
+        ) == 0
+        assert "lfk1/custom/base" in capsys.readouterr().out
+
+    def test_sweep_deterministic_compile_errors_exit_zero(
+        self, capsys
+    ):
+        # lfk4 cannot compile with two scalar registers; the cell is
+        # reported as an error result, not an infrastructure failure
+        assert main(
+            ["sweep", "lfk4", "--variants", "tight-sregs"]
+        ) == 0
+        assert "error" in capsys.readouterr().out
+
+    def test_experiment_with_jobs_flag(self, capsys):
+        assert main(
+            ["experiment", "ablation-refresh", "--jobs", "2"]
+        ) == 0
+        assert "t_p" in capsys.readouterr().out
 
 
 class TestLintCommand:

@@ -1,0 +1,87 @@
+"""Cache lifecycle regressions.
+
+``clear_caches()`` must wipe every process-wide memo *and* the sweep
+telemetry collector, and forked sweep workers must start cold — a
+child inheriting the parent's run cache would report ``cached``
+statuses for cells it never simulated, and an inherited telemetry
+collector would write to the parent's trace file descriptor.
+"""
+
+import os
+
+from repro.sweep import telemetry
+from repro.workloads import clear_caches, run_kernel, workload
+from repro.workloads import runner
+
+
+def warm_caches():
+    run_kernel(workload("lfk12"))
+    assert runner._COMPILE_CACHE and runner._RUN_CACHE
+
+
+class TestClearCaches:
+    def test_clears_compile_and_run_caches(self):
+        warm_caches()
+        clear_caches()
+        assert not runner._COMPILE_CACHE
+        assert not runner._RUN_CACHE
+
+    def test_deactivates_leftover_telemetry_collector(self):
+        collector = telemetry.Telemetry()
+        telemetry.activate(collector)
+        assert telemetry.current() is collector
+        clear_caches()
+        assert telemetry.current() is None
+
+    def test_reset_does_not_close_inherited_trace_handle(self, tmp_path):
+        # reset() must drop the handle reference without closing it:
+        # after a fork the child shares the parent's file descriptor,
+        # and closing it would corrupt the parent's trace.
+        trace = tmp_path / "trace.jsonl"
+        collector = telemetry.Telemetry(trace_path=str(trace))
+        telemetry.activate(collector)
+        handle = collector._trace_handle
+        assert handle is not None
+        clear_caches()
+        assert not handle.closed
+        handle.close()
+
+
+class TestForkIsolation:
+    def test_forked_child_starts_with_cold_caches(self):
+        warm_caches()
+        pid = os.fork()
+        if pid == 0:
+            # Child: the at-fork hook must have cleared everything the
+            # parent warmed.  Exit codes communicate the verdict.
+            status = (
+                0
+                if not runner._COMPILE_CACHE
+                and not runner._RUN_CACHE
+                and telemetry.current() is None
+                else 1
+            )
+            os._exit(status)
+        _, wait_status = os.waitpid(pid, 0)
+        assert os.WIFEXITED(wait_status)
+        assert os.WEXITSTATUS(wait_status) == 0
+        # ... and the parent's caches are untouched by the fork.
+        assert runner._COMPILE_CACHE and runner._RUN_CACHE
+
+    def test_forked_child_inherits_no_active_collector(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        collector = telemetry.Telemetry(trace_path=str(trace))
+        telemetry.activate(collector)
+        try:
+            pid = os.fork()
+            if pid == 0:
+                os._exit(0 if telemetry.current() is None else 1)
+            _, wait_status = os.waitpid(pid, 0)
+            assert os.WEXITSTATUS(wait_status) == 0
+            # The parent's collector survives the fork and can still
+            # write to its trace handle.
+            assert telemetry.current() is collector
+            collector.emit("probe")
+        finally:
+            telemetry.deactivate()
+        assert "probe" in trace.read_text()
