@@ -19,7 +19,25 @@ for arg in "$@"; do
     esac
 done
 
+# pytest-benchmark writes the JSON with a plain open()/write(); a
+# crash mid-run must not leave a half-written baseline behind.  Write
+# to a scratch file and promote it atomically via the resilience
+# store (fsync + rename) only after pytest exits cleanly.
+scratch=$(mktemp BENCH_kernels.json.XXXXXX)
+trap 'rm -f "$scratch"' EXIT
+
 PYTHONPATH=src python -m pytest "${targets[@]}" \
-    --benchmark-json=BENCH_kernels.json \
+    --benchmark-json="$scratch" \
     ${passthrough[@]+"${passthrough[@]}"}
+
+PYTHONPATH=src python - "$scratch" <<'EOF'
+import json
+import sys
+
+from repro.resilience.store import atomic_write_json
+
+with open(sys.argv[1], encoding="utf-8") as handle:
+    payload = json.load(handle)
+atomic_write_json("BENCH_kernels.json", payload, indent=2)
+EOF
 echo "wrote BENCH_kernels.json"

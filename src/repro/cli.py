@@ -10,6 +10,14 @@ Subcommands::
     macs-repro lint lfk1                 # static dataflow lint
     macs-repro run lfk3                  # simulate and report cycles
     macs-repro sweep --jobs 4            # parallel workload x option grid
+    macs-repro fsck sweep.ckpt           # integrity-scan an artifact log
+    macs-repro --chaos plan.json sweep   # run under fault injection
+
+Exit codes map the error taxonomy (see ``docs/sweep.md``): 0 success,
+1 findings (lint errors, failed sweep cells reported as results),
+2 usage errors, 3 workload/compile-layer errors, 4 simulation/machine
+errors (including exhausted watchdog budgets), 5 infrastructure
+errors (store corruption, crashed sweeps, bad fault plans).
 """
 
 from __future__ import annotations
@@ -18,7 +26,13 @@ import argparse
 import sys
 import time
 
-from .errors import ReproError
+from .errors import (
+    BudgetExceededError,
+    ExperimentError,
+    MachineError,
+    ReproError,
+    StoreError,
+)
 from .experiments import EXPERIMENTS
 from .isa.printer import format_program
 from .machine import DEFAULT_CONFIG
@@ -32,6 +46,24 @@ from .workloads import (
     workload,
     workload_names,
 )
+
+
+#: Exit-code contract (documented in docs/sweep.md).
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_WORKLOAD = 3
+EXIT_SIMULATION = 4
+EXIT_INFRASTRUCTURE = 5
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """Map a taxonomy error to the CLI exit-code contract."""
+    if isinstance(exc, (MachineError, BudgetExceededError)):
+        return EXIT_SIMULATION
+    if isinstance(exc, (ExperimentError, StoreError)):
+        return EXIT_INFRASTRUCTURE
+    return EXIT_WORKLOAD
 
 
 def _cmd_list(_args) -> int:
@@ -248,6 +280,24 @@ def _parse_options_string(text: str):
     return DEFAULT_OPTIONS.replace(**changes)
 
 
+def _cmd_fsck(args) -> int:
+    """Integrity-scan (and optionally repair) durable artifact logs."""
+    from .resilience.store import DurableLog, verify_log
+
+    damaged = 0
+    for path in args.paths:
+        if args.repair:
+            _, report = DurableLog(path).recover()
+        else:
+            report = verify_log(path)
+        print(report.summary())
+        for note in report.notes:
+            print(f"  {note}")
+        if not report.clean:
+            damaged += 1
+    return EXIT_FINDINGS if damaged else EXIT_OK
+
+
 def _cmd_sweep(args) -> int:
     from .sweep import OPTION_VARIANTS, SweepSpec, run_sweep, summarize_trace
 
@@ -280,6 +330,8 @@ def _cmd_sweep(args) -> int:
     config = DEFAULT_CONFIG
     if args.no_fastpath:
         config = config.without_fastpath()
+    if args.max_cycles is not None:
+        config = config.with_cycle_budget(args.max_cycles)
     names = tuple(args.kernels) if args.kernels else workload_names()
     for name in names:
         workload(name)  # fail fast on unknown workloads
@@ -290,13 +342,16 @@ def _cmd_sweep(args) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         retries=args.retries,
+        deadline_s=args.deadline,
+        sentinel=not args.no_sentinel,
         checkpoint=args.checkpoint,
         trace=args.trace,
     )
     print(result.table())
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(result.results_jsonl())
+        from .resilience.store import atomic_write_text
+
+        atomic_write_text(args.out, result.results_jsonl())
         print(f"wrote {args.out}")
     # The operator summary is computed from the emitted JSONL trace
     # (read back from disk when --trace was given); it carries timing,
@@ -308,9 +363,10 @@ def _cmd_sweep(args) -> int:
     print(summary, file=sys.stderr)
     # Deterministic per-cell errors (e.g. a variant that cannot
     # compile a kernel) are reported as results; only infrastructure
-    # failures (crashes/timeouts past the retry budget) fail the sweep.
+    # failures (crashes/timeouts past the retry budget, blown sweep
+    # deadlines) fail the sweep.
     crashed = any(o.status == "failed" for o in result.outcomes)
-    return 1 if crashed else 0
+    return EXIT_INFRASTRUCTURE if crashed else EXIT_OK
 
 
 def _cmd_run(args) -> int:
@@ -402,6 +458,11 @@ def build_parser() -> argparse.ArgumentParser:
             "MACS hierarchical performance modeling "
             "(Boyd & Davidson, ISCA 1993) reproduction"
         ),
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="PLAN.json",
+        help="arm a fault-injection plan for the whole invocation "
+        "(see docs/robustness.md for the plan schema)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -512,6 +573,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fastpath", action="store_true",
         help="disable the steady-state fast path for every cell",
     )
+    sweep_cmd.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole sweep; work remaining "
+        "at expiry fails with a typed BudgetExceededError",
+    )
+    sweep_cmd.add_argument(
+        "--max-cycles", type=float, default=None, metavar="CYCLES",
+        help="per-cell simulated-cycle ceiling (watchdog; default: "
+        "none)",
+    )
+    sweep_cmd.add_argument(
+        "--no-sentinel", action="store_true",
+        help="skip the fastpath divergence cross-check on one "
+        "sampled cell",
+    )
+
+    fsck_cmd = sub.add_parser(
+        "fsck",
+        help="integrity-scan durable artifact logs "
+        "(checkpoints, traces, results)",
+    )
+    fsck_cmd.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="record logs to scan",
+    )
+    fsck_cmd.add_argument(
+        "--repair", action="store_true",
+        help="truncate torn tails and quarantine corrupt records "
+        "instead of only reporting them",
+    )
 
     run_cmd = sub.add_parser("run", help="simulate one kernel")
     run_cmd.add_argument("kernel")
@@ -549,12 +640,19 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "fsck": _cmd_fsck,
     }
     try:
+        if args.chaos:
+            from .resilience import faults as _faults
+
+            plan = _faults.FaultPlan.load(args.chaos)
+            with _faults.chaos(plan):
+                return handlers[args.command](args)
         return handlers[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

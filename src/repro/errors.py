@@ -128,3 +128,26 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment harness cannot run as configured."""
+
+
+class StoreError(ReproError):
+    """Raised by the durable artifact store for corruption it cannot
+    auto-recover (torn tails are truncated and corrupt records are
+    quarantined silently; this is for structural damage beyond that,
+    e.g. an unwritable quarantine sidecar)."""
+
+
+class BudgetExceededError(ReproError):
+    """Raised when a watchdog budget is exhausted: the simulator's
+    cycle/step ceilings or the sweep scheduler's wall-clock deadline.
+    Converts runaway work into a typed, reportable result instead of a
+    hang; carries ``budget`` (what ran out) and ``spent``/``limit``
+    when known."""
+
+    def __init__(self, message: str, budget: str = "",
+                 spent: float | None = None,
+                 limit: float | None = None):
+        self.budget = budget
+        self.spent = spent
+        self.limit = limit
+        super().__init__(message)

@@ -53,8 +53,13 @@ def generate_report(experiment_names: list[str] | None = None) -> str:
 def write_report(
     path: str, experiment_names: list[str] | None = None
 ) -> str:
-    """Generate and write the report; returns the path."""
+    """Generate and write the report atomically; returns the path.
+
+    Atomic write-rename means a crash mid-generation can never leave a
+    truncated report where a previous good one stood.
+    """
     document = generate_report(experiment_names)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(document)
+    from ..resilience.store import atomic_write_text
+
+    atomic_write_text(path, document)
     return path

@@ -66,6 +66,11 @@ class MachineConfig:
     #: Enable the steady-state loop fast path (cycle-exact; see
     #: :mod:`repro.machine.fastpath`).  Off = pure interpretation.
     fastpath: bool = True
+    #: Watchdog ceiling on total simulated cycles (``None`` = no
+    #: ceiling).  A run that blows past it raises a typed
+    #: :class:`~repro.errors.BudgetExceededError` instead of grinding
+    #: on — the sweep records it as a deterministic error outcome.
+    cycle_budget: float | None = None
     #: Vector instruction timing parameters (paper Table 1).
     timings: TimingTable = field(default_factory=default_timing_table)
 
@@ -94,6 +99,10 @@ class MachineConfig:
             raise MachineError("scalar_load_latency must be >= 1")
         if self.branch_taken_penalty < 0:
             raise MachineError("branch_taken_penalty must be >= 0")
+        if self.cycle_budget is not None and self.cycle_budget <= 0:
+            raise MachineError(
+                f"cycle_budget must be positive, got {self.cycle_budget}"
+            )
         if self.scalar_cache_lines <= 0 or self.scalar_cache_line_words <= 0:
             raise MachineError("scalar cache geometry must be positive")
         if not (
@@ -142,6 +151,10 @@ class MachineConfig:
     def with_scalar_cache(self, **changes) -> "MachineConfig":
         """Copy with the explicit scalar-cache model enabled."""
         return self.replace(scalar_cache_enabled=True, **changes)
+
+    def with_cycle_budget(self, cycles: float | None) -> "MachineConfig":
+        """Copy with a watchdog ceiling on simulated cycles."""
+        return self.replace(cycle_budget=cycles)
 
 
 #: The paper's machine, idle (single process measurements).

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..resilience import faults as _faults
 from .semantics import (
     DecodedInstruction,
     K_A, K_IMM, K_S, K_VL, K_VS,
@@ -1506,6 +1507,13 @@ class FastPathEngine:
             _replay_timing(
                 self._model, state, decoded, plan, templates, k
             )
+
+        spec = _faults.check("fastpath.engage")
+        if spec is not None and spec.kind == "skew":
+            # Chaos hook: push the fast path's clocks off the exact
+            # timeline so the divergence sentinel has a real defect to
+            # catch.  Dead (one ``is None`` test) without an armed plan.
+            state.shift_clocks(spec.value)
 
         stats = self._stats
         stats.engagements += 1

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..errors import SimulationError
 from ..isa.program import Program
+from ..resilience import watchdog
 from ..sweep import telemetry
 from .cache import CacheStats
 from .config import DEFAULT_CONFIG, MachineConfig
@@ -116,8 +117,10 @@ class Simulator:
     ) -> SimulationResult:
         """Execute the program from its first instruction to fall-off.
 
-        Raises :class:`SimulationError` when the instruction budget is
-        exhausted (runaway loop) or an instruction faults.
+        Raises a typed :class:`~repro.errors.BudgetExceededError` when
+        the instruction budget (runaway loop) or the config's
+        ``cycle_budget`` ceiling is exhausted, and
+        :class:`SimulationError` when an instruction faults.
         """
         program = self.program
         regfile = self.regfile
@@ -151,15 +154,19 @@ class Simulator:
         pc = 0
         n_instructions = len(program)
         cache = state.scalar_cache
+        cycle_budget = self.config.cycle_budget
 
         # A/X-transformed code computes on nonsense values by design
         # (§3.6); suppress IEEE warnings for the whole run.
         with np.errstate(all="ignore"):
             while 0 <= pc < n_instructions:
                 if executed >= max_instructions:
-                    raise SimulationError(
-                        f"{program.name}: exceeded max_instructions="
-                        f"{max_instructions} (runaway loop?)"
+                    watchdog.check_instructions(
+                        executed, max_instructions, program.name
+                    )
+                if cycle_budget is not None:
+                    watchdog.check_cycles(
+                        state.issue_clock, cycle_budget, program.name
                     )
                 d = decoded[pc]
                 taken = execute_decoded(d, regfile, memory, layout)

@@ -1,0 +1,92 @@
+"""Unified retry policy: bounded exponential backoff with
+deterministic jitter.
+
+One :class:`RetryPolicy` replaces the ad-hoc retry counters that used
+to live in the sweep scheduler.  The policy answers two questions —
+*may this attempt be retried?* and *how long to wait first?* — and
+nothing else; the caller owns requeueing.
+
+Jitter is **deterministic**: it is derived from a hash of the work
+item's key and the attempt number, not from a random source, so a
+retried sweep schedules identically every run (and chaos tests stay
+reproducible) while distinct tasks still decorrelate their retries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for infrastructure failures.
+
+    ``retries`` extra attempts are allowed after the first; attempt
+    ``n``'s backoff is ``min(max_delay_s, base_delay_s *
+    multiplier**(n-1))`` scaled into ``[1 - jitter, 1]`` by the
+    deterministic jitter fraction.
+    """
+
+    retries: int = 2
+    base_delay_s: float = 0.05
+    max_delay_s: float = 1.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ExperimentError(
+                f"retries must be >= 0, got {self.retries}"
+            )
+        if self.base_delay_s < 0:
+            raise ExperimentError("base_delay_s must be >= 0")
+        if self.max_delay_s < self.base_delay_s:
+            raise ExperimentError(
+                "max_delay_s must be >= base_delay_s "
+                f"({self.max_delay_s} < {self.base_delay_s})"
+            )
+        if self.multiplier < 1.0:
+            raise ExperimentError("multiplier must be >= 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ExperimentError("jitter must be in [0, 1]")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def allows(self, failed_attempt: int) -> bool:
+        """True when the (1-based) failed attempt may be retried."""
+        return failed_attempt <= self.retries
+
+    def jitter_fraction(self, key: str, attempt: int) -> float:
+        """Deterministic fraction in ``[1 - jitter, 1]``."""
+        if self.jitter == 0.0:
+            return 1.0
+        digest = hashlib.sha1(
+            f"{key}:{attempt}".encode("utf-8")
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(2 ** 64)
+        return 1.0 - self.jitter * unit
+
+    def backoff_s(self, failed_attempt: int, key: str = "") -> float:
+        """Seconds to wait before re-running after ``failed_attempt``."""
+        if self.base_delay_s == 0.0:
+            return 0.0
+        raw = self.base_delay_s * self.multiplier ** (failed_attempt - 1)
+        return min(self.max_delay_s, raw) * self.jitter_fraction(
+            key, failed_attempt
+        )
+
+    @classmethod
+    def from_retries(cls, retries: int) -> "RetryPolicy":
+        """The default backoff shape with a custom attempt budget."""
+        return cls(retries=retries)
+
+    @classmethod
+    def immediate(cls, retries: int = 2) -> "RetryPolicy":
+        """Retries with no backoff at all (unit tests, tight loops)."""
+        return cls(retries=retries, base_delay_s=0.0, max_delay_s=0.0,
+                   jitter=0.0)

@@ -1,0 +1,140 @@
+"""Fastpath divergence sentinel: graceful degradation for the
+steady-state fast path.
+
+The fast path is *proven* cycle-exact (see
+:mod:`repro.machine.fastpath`), but a production sweep should not
+have to take a proof's word for it.  Once per sweep the scheduler
+samples one cell and runs it **both ways** — fast path armed and pure
+interpretation — and compares cycles and every architectural counter
+bit for bit.  On a mismatch the sweep *degrades instead of lying*:
+the offending configuration is quarantined into the telemetry trace
+(``fastpath_divergence`` + ``config_quarantined`` events) and every
+remaining cell under that configuration is executed with exact
+interpretation, so the published results are trustworthy even when
+the accelerator is not.
+
+The cross-check deliberately bypasses the process-wide run cache in
+both directions: a cached result would make the check vacuous, and a
+diverged measurement must never poison the cache.
+
+Chaos hooks prove the machinery: ``sentinel.fast_cycles`` skews the
+fast-side measurement at the comparison, and ``fastpath.engage``
+skews the engine's clocks inside a real engagement — either triggers
+the fallback end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from . import faults
+
+#: Counter fields compared bit-for-bit between the two runs.
+_COUNTERS = (
+    "instructions_executed",
+    "vector_instructions",
+    "scalar_instructions",
+    "vector_memory_ops",
+    "scalar_memory_ops",
+    "flops",
+)
+
+
+@dataclass
+class SentinelVerdict:
+    """Outcome of one fastpath-vs-exact cross-check."""
+
+    key: str
+    label: str
+    checked: bool
+    diverged: bool = False
+    fast_cycles: float = 0.0
+    exact_cycles: float = 0.0
+    mismatches: tuple[str, ...] = ()
+    reason: str = ""
+
+    def to_event(self) -> dict:
+        return {
+            "key": self.key,
+            "task": self.label,
+            "checked": self.checked,
+            "diverged": self.diverged,
+            "fast_cycles": self.fast_cycles,
+            "exact_cycles": self.exact_cycles,
+            "mismatches": list(self.mismatches),
+            "reason": self.reason,
+        }
+
+
+def eligible(task) -> bool:
+    """True for cells the sentinel can cross-check (simulated runs
+    with the fast path armed)."""
+    return task.mode == "run" and bool(task.config.fastpath)
+
+
+def pick_cell(tasks):
+    """The sampled cell: the first eligible task in grid order
+    (deterministic for a given grid, any ``jobs`` value)."""
+    for task in tasks:
+        if eligible(task):
+            return task
+    return None
+
+
+def _sized_spec(task):
+    from ..workloads import workload
+    from ..workloads.runner import sized_spec
+
+    spec = workload(task.workload)
+    if task.n is not None:
+        spec = sized_spec(spec, task.n)
+    return spec
+
+
+def cross_check(task) -> SentinelVerdict:
+    """Run ``task`` with and without the fast path; compare exactly."""
+    from ..workloads import compile_spec, run_kernel
+
+    verdict = SentinelVerdict(key=task.key, label=task.label,
+                              checked=True)
+    try:
+        spec = _sized_spec(task)
+        compiled = compile_spec(spec, task.options)
+        # Passing ``compiled`` explicitly bypasses the run cache in
+        # both directions (no stale hit, no poisoned entry).
+        fast = run_kernel(spec, task.options, task.config,
+                          compiled=compiled)
+        exact = run_kernel(spec, task.options,
+                           task.config.without_fastpath(),
+                           compiled=compiled)
+    except ReproError as exc:
+        # A cell that cannot run at all is not the sentinel's problem;
+        # the sweep will record it as a deterministic error outcome.
+        verdict.checked = False
+        verdict.reason = f"{type(exc).__name__}: {exc}"
+        return verdict
+
+    fast_cycles = fast.result.cycles
+    spec_fault = faults.check("sentinel.fast_cycles")
+    if spec_fault is not None and spec_fault.kind == "skew":
+        fast_cycles += spec_fault.value
+    verdict.fast_cycles = fast_cycles
+    verdict.exact_cycles = exact.result.cycles
+
+    mismatches = []
+    if fast_cycles != exact.result.cycles:
+        mismatches.append("cycles")
+    for name in _COUNTERS:
+        if getattr(fast.result, name) != getattr(exact.result, name):
+            mismatches.append(name)
+    verdict.mismatches = tuple(mismatches)
+    verdict.diverged = bool(mismatches)
+    if verdict.diverged:
+        verdict.reason = (
+            "fastpath/exact mismatch on "
+            + ", ".join(mismatches)
+            + f" (fast={fast_cycles!r}, "
+            f"exact={exact.result.cycles!r} cycles)"
+        )
+    return verdict

@@ -1,0 +1,392 @@
+"""Durable artifact store: atomic whole-file writes and append-only
+record logs that survive crashes.
+
+Every artifact the repo produces — sweep checkpoints, telemetry
+traces, ``--out`` result files, reports, ``BENCH_*.json`` — goes
+through one of two primitives:
+
+* :func:`atomic_write_text` / :func:`atomic_write_json` — whole-file
+  replacement via write-to-temp + ``fsync`` + ``os.replace`` (+ a
+  best-effort directory ``fsync``), so readers only ever observe the
+  old or the new contents, never a half-written file;
+* :class:`DurableLog` — an append-only JSONL record log.  Each record
+  is optionally framed in a CRC32 envelope (``{"crc": "…", "record":
+  …}`` — still one JSON object per line) and each append is flushed
+  (and, when ``fsync`` is on, fsync'd) before returning, so a record
+  either made it to disk intact or is detectably torn.
+
+Recovery (:meth:`DurableLog.recover`) classifies damage instead of
+refusing to read:
+
+* a **torn tail** — a final line with no newline, or whose JSON is
+  truncated — is the signature of a mid-append kill.  It is *cut off*
+  (the file is truncated back to the last good record) and reported;
+  the lost record simply re-runs.
+* a **corrupt interior record** — a complete line that fails JSON
+  decoding, CRC verification, or the caller's semantic validation —
+  is *quarantined*: moved to a ``<path>.quarantine`` sidecar with a
+  structured reason, and skipped.  Nothing is silently dropped and
+  nothing healthy is thrown away with it.
+* **legacy records** (plain JSON lines written before CRC framing) are
+  accepted without verification, so old checkpoints keep resuming.
+
+Both primitives carry named fault points (``store.append``,
+``store.atomic_write``) so :mod:`repro.resilience.faults` can inject
+I/O errors and torn writes deterministically.
+
+This module imports nothing from the rest of the package beyond
+:mod:`repro.errors`, so every layer can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+
+from ..errors import StoreError
+from . import faults
+
+#: Envelope keys of a CRC-framed record line.
+_FRAME_KEYS = frozenset(("crc", "record"))
+
+
+def _crc32(text: str) -> str:
+    return format(zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def frame_record(payload) -> str:
+    """One framed JSONL line (no newline) for ``payload``."""
+    body = json.dumps(payload, sort_keys=True)
+    return json.dumps(
+        {"crc": _crc32(body), "record": payload}, sort_keys=True
+    )
+
+
+def parse_record(line: str):
+    """Decode one log line; returns ``(payload, verified)``.
+
+    Raises ``ValueError`` when the line is not valid JSON or fails its
+    CRC check.  Unframed lines (legacy artifacts) decode with
+    ``verified=False``.
+    """
+    obj = json.loads(line)
+    if isinstance(obj, dict) and set(obj) == _FRAME_KEYS:
+        body = json.dumps(obj["record"], sort_keys=True)
+        if _crc32(body) != obj["crc"]:
+            raise ValueError(
+                f"CRC mismatch: expected {obj['crc']}, "
+                f"computed {_crc32(body)}"
+            )
+        return obj["record"], True
+    return obj, False
+
+
+# ----------------------------------------------------------------------
+# Atomic whole-file writes
+# ----------------------------------------------------------------------
+
+
+def _fsync_dir(directory: str) -> None:
+    """Best-effort directory fsync (persists the rename itself)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, text: str, fsync: bool = True) -> str:
+    """Atomically replace ``path`` with ``text``; returns ``path``.
+
+    The data is written to a temp file in the same directory, flushed
+    (and fsync'd), then moved into place with ``os.replace`` — crash
+    at any point leaves either the old file or the new one.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    spec = faults.check("store.atomic_write", path=path)
+    if spec is not None and spec.kind == "io-error":
+        raise OSError(f"injected I/O error: atomic write of {path}")
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp",
+        dir=directory,
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            if spec is not None and spec.kind == "torn-write":
+                handle.write(text[: max(1, len(text) // 2)])
+                handle.flush()
+                raise OSError(
+                    f"injected torn write: atomic write of {path}"
+                )
+            handle.write(text)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_dir(directory)
+    return path
+
+
+def atomic_write_json(path: str, obj, indent: int | None = 2,
+                      fsync: bool = True) -> str:
+    """Atomically write ``obj`` as JSON (sorted keys) to ``path``."""
+    text = json.dumps(obj, indent=indent, sort_keys=True)
+    return atomic_write_text(path, text + "\n", fsync=fsync)
+
+
+# ----------------------------------------------------------------------
+# Append-only record logs
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`DurableLog.recover` found (and repaired)."""
+
+    path: str
+    records: int = 0           # clean records returned
+    unverified: int = 0        # legacy lines accepted without a CRC
+    truncated_bytes: int = 0   # torn tail cut off the file
+    quarantined: int = 0       # corrupt records moved aside
+    quarantine_path: str | None = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return self.truncated_bytes == 0 and self.quarantined == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "records": self.records,
+            "unverified": self.unverified,
+            "truncated_bytes": self.truncated_bytes,
+            "quarantined": self.quarantined,
+            "quarantine_path": self.quarantine_path,
+            "notes": list(self.notes),
+        }
+
+    def summary(self) -> str:
+        state = "clean" if self.clean else "recovered"
+        return (
+            f"{self.path}: {state}; {self.records} record(s), "
+            f"{self.quarantined} quarantined, "
+            f"{self.truncated_bytes} torn byte(s) truncated"
+        )
+
+
+class DurableLog:
+    """Append-only JSONL log with per-record durability and recovery.
+
+    ``checksum`` selects CRC32 framing per record (checkpoints);
+    ``fsync`` selects an fsync per append (checkpoints) versus
+    flush-only appends (high-rate telemetry traces).  ``keep_open``
+    holds one append handle across records instead of reopening per
+    append (traces).
+    """
+
+    def __init__(self, path: str, fsync: bool = True,
+                 checksum: bool = True, keep_open: bool = False):
+        self.path = path
+        self.fsync = fsync
+        self.checksum = checksum
+        self.keep_open = keep_open
+        self._handle = None
+
+    # -- writing -------------------------------------------------------
+
+    def _format(self, payload) -> str:
+        if self.checksum:
+            return frame_record(payload)
+        return json.dumps(payload, sort_keys=True)
+
+    def append(self, payload) -> None:
+        """Durably append one record (flush + optional fsync)."""
+        line = self._format(payload)
+        spec = faults.check("store.append", path=self.path)
+        if spec is not None and spec.kind == "io-error":
+            raise OSError(
+                f"injected I/O error: append to {self.path}"
+            )
+        handle = self._open()
+        try:
+            if spec is not None and spec.kind == "torn-write":
+                # A mid-write kill: half the bytes land, no newline.
+                handle.write(line[: max(1, len(line) // 2)])
+                handle.flush()
+                os.fsync(handle.fileno())
+                raise OSError(
+                    f"injected torn write: append to {self.path}"
+                )
+            handle.write(line + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        finally:
+            if not self.keep_open:
+                handle.close()
+                self._handle = None
+
+    def _open(self):
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def flush(self, fsync: bool = False) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.flush()
+            if fsync:
+                os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    def detach(self) -> None:
+        """Drop the handle without closing it (forked children share
+        the parent's file descriptor; closing would corrupt it)."""
+        self._handle = None
+
+    # -- recovery ------------------------------------------------------
+
+    def recover(self, validate=None, repair: bool = True):
+        """Scan the log; returns ``(records, RecoveryReport)``.
+
+        ``validate`` is an optional callable mapping a decoded record
+        to a rejection reason (string) or ``None``; rejected records
+        are quarantined like CRC failures.  With ``repair=False`` the
+        scan is read-only (nothing truncated, nothing moved) — used by
+        ``fsck``-style inspection.
+        """
+        report = RecoveryReport(path=self.path)
+        records: list = []
+        if not os.path.exists(self.path):
+            return records, report
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        if not raw:
+            return records, report
+        quarantine: list[dict] = []
+        good_blobs: list[bytes] = []
+        offset = 0
+        good_end = 0
+        lines = raw.split(b"\n")
+        # split() leaves a trailing b"" when the file ends with \n;
+        # anything else in the last slot is a torn (newline-less) tail.
+        torn_tail = lines[-1]
+        complete = lines[:-1]
+        for number, blob in enumerate(complete, start=1):
+            line_span = len(blob) + 1
+            text = blob.decode("utf-8", errors="replace").strip()
+            if not text:
+                offset += line_span
+                good_end = offset
+                continue
+            try:
+                payload, verified = parse_record(text)
+                reason = validate(payload) if validate else None
+            except ValueError as exc:
+                if number == len(complete) and not torn_tail:
+                    # Undecodable final record: a torn append that got
+                    # its newline out before dying.  Treat as tail.
+                    report.truncated_bytes += line_span
+                    report.notes.append(
+                        f"line {number}: torn tail ({exc})"
+                    )
+                    break
+                payload, reason = None, str(exc)
+            if reason:
+                quarantine.append(
+                    {"line": number, "offset": offset,
+                     "reason": reason, "raw": text}
+                )
+                offset += line_span
+                continue
+            records.append(payload)
+            good_blobs.append(blob)
+            report.records += 1
+            if not verified:
+                report.unverified += 1
+            offset += line_span
+            good_end = offset
+        if torn_tail:
+            report.truncated_bytes += len(torn_tail)
+            report.notes.append(
+                f"torn tail: {len(torn_tail)} byte(s) with no newline"
+            )
+        report.quarantined = len(quarantine)
+        if quarantine:
+            report.quarantine_path = self.path + ".quarantine"
+        if repair and not report.clean:
+            if quarantine:
+                self._write_quarantine(quarantine,
+                                       report.quarantine_path)
+                # Rewrite the survivors so a re-scan is clean and the
+                # sidecar never accumulates duplicates.
+                self._rewrite(good_blobs)
+            else:
+                self._truncate(good_end)
+        return records, report
+
+    def _write_quarantine(self, entries: list[dict],
+                          path: str) -> None:
+        try:
+            with open(path, "a", encoding="utf-8") as handle:
+                for entry in entries:
+                    handle.write(
+                        json.dumps(entry, sort_keys=True) + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise StoreError(
+                f"{self.path}: cannot quarantine "
+                f"{len(entries)} corrupt record(s) to {path}: {exc}"
+            ) from exc
+
+    def _truncate(self, good_end: int) -> None:
+        """Cut the torn tail off: truncate back to the last good byte."""
+        try:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            raise StoreError(
+                f"{self.path}: cannot truncate torn tail: {exc}"
+            ) from exc
+
+    def _rewrite(self, good_blobs: list[bytes]) -> None:
+        """Atomically rewrite the log as just its surviving records."""
+        text = b"\n".join(good_blobs).decode("utf-8")
+        try:
+            atomic_write_text(
+                self.path, text + ("\n" if good_blobs else "")
+            )
+        except OSError as exc:
+            raise StoreError(
+                f"{self.path}: cannot rewrite recovered log: {exc}"
+            ) from exc
+
+
+def verify_log(path: str, validate=None) -> RecoveryReport:
+    """Read-only integrity scan of a record log (``fsck``)."""
+    _, report = DurableLog(path).recover(validate=validate,
+                                         repair=False)
+    return report

@@ -1,0 +1,93 @@
+"""Watchdog budgets: cycle/step ceilings and wall-clock deadlines.
+
+Two layers use these:
+
+* the simulator enforces ``MachineConfig.cycle_budget`` (and its
+  instruction ceiling) through :func:`check_cycles` /
+  :func:`check_instructions`, converting a runaway simulation into a
+  typed :class:`~repro.errors.BudgetExceededError` — a deterministic
+  *result*, not a hang;
+* the sweep scheduler wraps each run in a :class:`Deadline` and marks
+  whatever work remains at expiry as failed with the same typed
+  error, so an operator's ``--deadline`` bounds the sweep's wall
+  clock no matter what the cells do.
+
+:func:`monotonic` is the scheduler's clock; it honors injected
+``clock`` skew from :mod:`repro.resilience.faults`, which is how the
+chaos suite proves deadline behavior without waiting out real time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import BudgetExceededError
+from . import faults
+
+
+def monotonic() -> float:
+    """The wall clock used for deadlines (chaos skew applies here)."""
+    return time.monotonic() + faults.clock_skew()
+
+
+def check_cycles(spent: float, limit: float | None,
+                 what: str) -> None:
+    """Raise :class:`BudgetExceededError` when a cycle ceiling blew."""
+    if limit is not None and spent > limit:
+        raise BudgetExceededError(
+            f"{what}: exceeded cycle budget ({spent:.0f} > "
+            f"{limit:.0f} cycles); raise cycle_budget or shrink the "
+            "problem",
+            budget="cycles", spent=spent, limit=limit,
+        )
+
+
+def check_instructions(spent: int, limit: int, what: str) -> None:
+    """Raise when the instruction (step) ceiling blew (runaway loop)."""
+    if spent >= limit:
+        raise BudgetExceededError(
+            f"{what}: exceeded max_instructions={limit} "
+            "(runaway loop?)",
+            budget="instructions", spent=float(spent),
+            limit=float(limit),
+        )
+
+
+class Deadline:
+    """A wall-clock budget measured from construction.
+
+    ``Deadline(None)`` never expires, so callers need no branching.
+    """
+
+    def __init__(self, seconds: float | None):
+        if seconds is not None and seconds < 0:
+            raise BudgetExceededError(
+                f"deadline must be >= 0 seconds, got {seconds}",
+                budget="wall-clock", limit=seconds,
+            )
+        self.seconds = seconds
+        self._t0 = monotonic()
+
+    def elapsed(self) -> float:
+        return monotonic() - self._t0
+
+    def remaining(self) -> float | None:
+        if self.seconds is None:
+            return None
+        return self.seconds - self.elapsed()
+
+    def expired(self) -> bool:
+        remaining = self.remaining()
+        return remaining is not None and remaining <= 0.0
+
+    def error(self, what: str) -> BudgetExceededError:
+        return BudgetExceededError(
+            f"{what}: wall-clock deadline ({self.seconds:.1f}s) "
+            "exceeded",
+            budget="wall-clock", spent=self.elapsed(),
+            limit=self.seconds,
+        )
+
+    def check(self, what: str) -> None:
+        if self.expired():
+            raise self.error(what)

@@ -36,6 +36,7 @@ _EXPORTS = {
     "Telemetry": "telemetry",
     "summarize_trace": "telemetry",
     "read_trace": "telemetry",
+    "read_trace_report": "telemetry",
     "set_sweep_defaults": "api",
     "reset_sweep_defaults": "api",
     "sweep_defaults": "api",

@@ -1,12 +1,28 @@
-"""Sweep checkpoint/resume.
+"""Sweep checkpoint/resume on the durable artifact store.
 
-A checkpoint is an append-only JSONL file of deterministic task result
-payloads (the same dicts :meth:`TaskOutcome.result_dict` produces and
-``--out`` writes).  The scheduler appends one line as each cell
-completes; on the next run with the same path, cells whose keys are
-already present with a reusable status are skipped.  Because task keys
-are content digests, editing the grid between runs is safe — only the
+A checkpoint is an append-only record log of deterministic task
+result payloads (the same dicts :meth:`TaskOutcome.result_dict`
+produces and ``--out`` writes), held in a
+:class:`~repro.resilience.store.DurableLog`: every record is CRC32
+framed, and every append is flushed **and fsync'd** before the
+scheduler moves on, so a SIGKILL can lose at most the record being
+written — never a completed one.
+
+On the next run with the same path, cells whose keys are already
+present with a reusable status are skipped.  Because task keys are
+content digests, editing the grid between runs is safe — only the
 still-matching cells are reused.
+
+:meth:`Checkpoint.load` *recovers* instead of refusing:
+
+* a torn final record (the mid-append-kill signature) is truncated
+  away — that cell simply re-runs;
+* corrupt records elsewhere (bad JSON, CRC mismatch, missing
+  ``key``) are quarantined to ``<path>.quarantine`` and skipped;
+* plain pre-framing JSONL lines still load (legacy checkpoints).
+
+The last :class:`~repro.resilience.store.RecoveryReport` is kept on
+``Checkpoint.last_report`` so the scheduler can emit it to the trace.
 
 ``"failed"`` entries (worker crashes / timeouts that exhausted their
 retries) are *not* reused: those are exactly the cells a resume is
@@ -16,39 +32,39 @@ meant to retry.  A later success for the same key appends a new line;
 
 from __future__ import annotations
 
-import json
-import os
+from ..resilience.store import DurableLog, RecoveryReport
 
-from ..errors import ExperimentError
+
+def _validate(payload) -> str | None:
+    """Semantic check: a checkpoint record must carry a string key."""
+    if not isinstance(payload, dict):
+        return f"checkpoint record is {type(payload).__name__}, not an object"
+    if not isinstance(payload.get("key"), str):
+        return "checkpoint record has no 'key'"
+    return None
 
 
 class Checkpoint:
-    """Append-only JSONL store of completed sweep cells."""
+    """Durable, self-recovering store of completed sweep cells."""
 
     def __init__(self, path: str):
         self.path = path
+        self._log = DurableLog(path, fsync=True, checksum=True)
+        self.last_report: RecoveryReport | None = None
 
     def load(self) -> dict[str, dict]:
-        """Completed payloads by task key (last entry per key wins)."""
-        if not os.path.exists(self.path):
-            return {}
+        """Completed payloads by task key (last entry per key wins).
+
+        Recovers torn tails and quarantines corrupt records; the
+        details land in :attr:`last_report`.
+        """
+        records, report = self._log.recover(validate=_validate)
+        self.last_report = report
         entries: dict[str, dict] = {}
-        with open(self.path, encoding="utf-8") as handle:
-            for number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                    key = payload["key"]
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    raise ExperimentError(
-                        f"{self.path}:{number}: corrupt checkpoint "
-                        "line; delete the file to start fresh"
-                    ) from None
-                entries[key] = payload
+        for payload in records:
+            entries[payload["key"]] = payload
         return entries
 
     def append(self, payload: dict) -> None:
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        """Durably append one completed cell (flush + fsync)."""
+        self._log.append(payload)

@@ -27,6 +27,26 @@ Fault injection (``inject_faults``) is built into the worker so the
 scheduler's recovery paths can be tested deterministically: a mapping
 ``{task_index: (kind, fail_attempts)}`` makes attempts 1..fail_attempts
 of that task ``"raise"``, ``"exit"`` (``os._exit``), or ``"hang"``.
+A :class:`~repro.resilience.faults.FaultPlan` (``fault_plan=`` or the
+plan armed via ``macs-repro --chaos``) feeds the same mechanism from
+its ``site="worker"`` entries.
+
+Resilience semantics layered on top (see ``docs/robustness.md``):
+
+* retries follow a unified
+  :class:`~repro.resilience.retry.RetryPolicy` — bounded exponential
+  backoff with deterministic jitter — instead of bare counters;
+* ``deadline_s`` bounds the whole sweep's wall clock; work remaining
+  at expiry becomes typed ``BudgetExceededError`` results, never a
+  hang;
+* ``sentinel=True`` cross-checks the fast path against exact
+  interpretation on one sampled cell and degrades the affected
+  configuration to exact simulation on divergence
+  (:mod:`repro.resilience.sentinel`);
+* checkpoint writes are durable (CRC-framed, fsync'd) and checkpoint
+  *reads* self-recover; a checkpoint that stops accepting writes
+  degrades the sweep to checkpoint-less operation instead of killing
+  it.
 """
 
 from __future__ import annotations
@@ -40,6 +60,10 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from ..errors import ExperimentError, ReproError
+from ..resilience import faults as _faults
+from ..resilience import sentinel as _sentinel
+from ..resilience.retry import RetryPolicy
+from ..resilience.watchdog import Deadline
 from . import telemetry as tele
 from .checkpoint import Checkpoint
 from .spec import SweepSpec, SweepTask
@@ -190,12 +214,17 @@ def execute_task(
     task: SweepTask,
     attempt: int = 1,
     fault: tuple[str, int] | None = None,
+    exact: bool = False,
 ) -> dict:
     """Run one sweep cell; returns a picklable payload dict.
 
     Deterministic domain errors come back as ``status="error"``
     payloads (they would fail identically on retry); unexpected
     exceptions propagate so the scheduler's retry machinery engages.
+
+    ``exact=True`` executes the cell with the fast path disabled
+    while keeping the task's identity (key/label) — the divergence
+    sentinel's degradation path.
     """
     if fault is not None:
         kind, fail_attempts = fault
@@ -220,6 +249,10 @@ def execute_task(
         "stages": {},
         "counters": {},
     }
+    if exact and task.mode == "run" and task.config.fastpath:
+        import dataclasses as _dc
+
+        task = _dc.replace(task, config=task.config.without_fastpath())
     with tele.collecting() as task_tele:
         try:
             payload["metrics"] = _compute_metrics(task)
@@ -288,6 +321,8 @@ class _Pending:
     index: int
     task: SweepTask
     attempt: int  # next attempt number (1-based)
+    ready_at: float = 0.0  # backoff: not before this monotonic time
+    exact: bool = False    # sentinel degradation: run without fastpath
 
 
 def run_sweep(
@@ -296,24 +331,34 @@ def run_sweep(
     jobs: int = 1,
     timeout: float | None = None,
     retries: int = 2,
+    retry: RetryPolicy | None = None,
+    deadline_s: float | None = None,
+    sentinel: bool = False,
     checkpoint: str | None = None,
     trace: str | None = None,
     inject_faults: dict[int, tuple[str, int]] | None = None,
+    fault_plan=None,
 ) -> SweepResult:
     """Execute a sweep grid; see the module docstring for semantics."""
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
     if retries < 0:
         raise ExperimentError(f"retries must be >= 0, got {retries}")
+    policy = retry if retry is not None else RetryPolicy.from_retries(
+        retries
+    )
     if isinstance(spec_or_tasks, SweepSpec):
         grid_size = spec_or_tasks.grid_size
         tasks = spec_or_tasks.expand()
     else:
         tasks = list(spec_or_tasks)
         grid_size = len(tasks)
-    faults = dict(inject_faults or {})
+    plan = fault_plan if fault_plan is not None else _faults.active_plan()
+    faults = dict(plan.worker_faults()) if plan is not None else {}
+    faults.update(inject_faults or {})
 
     telemetry = tele.Telemetry(trace)
+    deadline = Deadline(deadline_s)
     wall0 = time.perf_counter()
     telemetry.emit(
         "sweep_start",
@@ -322,7 +367,10 @@ def run_sweep(
         deduplicated=grid_size - len(tasks),
         jobs=jobs,
         timeout=timeout,
-        retries=retries,
+        retries=policy.retries,
+        deadline_s=deadline_s,
+        sentinel=sentinel,
+        chaos=plan.name if plan is not None else None,
     )
 
     outcomes: dict[int, TaskOutcome] = {}
@@ -330,6 +378,11 @@ def run_sweep(
 
     ckpt = Checkpoint(checkpoint) if checkpoint else None
     done_before = ckpt.load() if ckpt else {}
+    if ckpt is not None and ckpt.last_report is not None \
+            and not ckpt.last_report.clean:
+        telemetry.emit(
+            "checkpoint_recovered", **ckpt.last_report.to_dict()
+        )
     for index, task in enumerate(tasks):
         prior = done_before.get(task.key)
         if prior is not None and prior.get("status") in _RESUMABLE:
@@ -338,6 +391,55 @@ def run_sweep(
                            task=task.label)
         else:
             pending.append(_Pending(index, task, attempt=1))
+
+    # -- fastpath divergence sentinel (graceful degradation) -----------
+    if sentinel and pending:
+        sampled = _sentinel.pick_cell(
+            [item.task for item in pending]
+        )
+        if sampled is not None:
+            verdict = _sentinel.cross_check(sampled)
+            telemetry.emit("sentinel_check", **verdict.to_event())
+            if verdict.diverged:
+                affected = [
+                    item for item in pending
+                    if _sentinel.eligible(item.task)
+                    and item.task.config == sampled.config
+                ]
+                for item in affected:
+                    item.exact = True
+                telemetry.emit(
+                    "fastpath_divergence", key=verdict.key,
+                    task=verdict.label,
+                    fast_cycles=verdict.fast_cycles,
+                    exact_cycles=verdict.exact_cycles,
+                    mismatches=list(verdict.mismatches),
+                )
+                telemetry.emit(
+                    "config_quarantined",
+                    reason=verdict.reason,
+                    tasks=[item.task.key for item in affected],
+                    fallback="exact simulation (fastpath disabled)",
+                )
+
+    ckpt_ok = True
+
+    def checkpoint_append(payload: dict) -> None:
+        """Durable append, degrading to checkpoint-less on I/O death."""
+        nonlocal ckpt_ok
+        if ckpt is None or not ckpt_ok:
+            return
+        try:
+            ckpt.append(payload)
+        except OSError as exc:
+            ckpt_ok = False
+            telemetry.emit(
+                "checkpoint_degraded",
+                path=ckpt.path,
+                error=f"{type(exc).__name__}: {exc}",
+                note="checkpoint writes disabled; sweep continues "
+                "without resume protection",
+            )
 
     def finish(item: _Pending, payload: dict) -> None:
         task = item.task
@@ -373,8 +475,7 @@ def run_sweep(
             stages=outcome.stages,
             counters=outcome.counters,
         )
-        if ckpt is not None:
-            ckpt.append(outcome.result_dict())
+        checkpoint_append(outcome.result_dict())
 
     def give_up(item: _Pending, error: str) -> None:
         outcome = TaskOutcome(
@@ -396,30 +497,47 @@ def run_sweep(
             attempts=item.attempt,
             error=error,
         )
-        if ckpt is not None:
-            ckpt.append(outcome.result_dict())
+        checkpoint_append(outcome.result_dict())
 
     def retry_or_fail(item: _Pending, error: str, event: str) -> None:
         telemetry.emit(
             event, key=item.task.key, task=item.task.label,
             attempt=item.attempt, error=error,
         )
-        if item.attempt > retries:
+        if not policy.allows(item.attempt):
             give_up(item, error)
         else:
+            backoff = policy.backoff_s(item.attempt, key=item.task.key)
             telemetry.emit(
                 "task_retry", key=item.task.key, task=item.task.label,
                 next_attempt=item.attempt + 1,
+                backoff_s=round(backoff, 4),
             )
             pending.append(
-                _Pending(item.index, item.task, item.attempt + 1)
+                _Pending(
+                    item.index, item.task, item.attempt + 1,
+                    ready_at=time.monotonic() + backoff,
+                    exact=item.exact,
+                )
             )
 
+    def budget_fail(item: _Pending) -> None:
+        """Convert work remaining at deadline expiry into a typed
+        failure (the sweep-level BudgetExceededError result)."""
+        err = deadline.error(f"sweep cell {item.task.label}")
+        telemetry.emit(
+            "budget_exceeded", key=item.task.key, task=item.task.label,
+            budget="wall-clock", limit=deadline.seconds,
+            elapsed=round(deadline.elapsed(), 3),
+        )
+        give_up(item, f"{type(err).__name__}: {err}")
+
     if jobs == 1:
-        _run_sequential(pending, faults, finish, retry_or_fail)
+        _run_sequential(pending, faults, finish, retry_or_fail,
+                        deadline, budget_fail)
     else:
         _run_parallel(pending, faults, jobs, timeout, finish,
-                      retry_or_fail, telemetry)
+                      retry_or_fail, telemetry, deadline, budget_fail)
 
     wall = time.perf_counter() - wall0
     ok = sum(1 for o in outcomes.values() if o.ok)
@@ -430,6 +548,7 @@ def run_sweep(
         completed=ok,
         failed=len(outcomes) - ok,
     )
+    telemetry.flush(fsync=True)
     telemetry.close()
     ordered = [outcomes[i] for i in sorted(outcomes)]
     return SweepResult(
@@ -438,14 +557,27 @@ def run_sweep(
     )
 
 
-def _run_sequential(pending, faults, finish, retry_or_fail) -> None:
+def _run_sequential(pending, faults, finish, retry_or_fail,
+                    deadline, budget_fail) -> None:
     """Inline execution: shares the process-wide memo caches."""
     while pending:
         item = pending.popleft()
+        if deadline.expired():
+            budget_fail(item)
+            continue
+        wait_s = item.ready_at - time.monotonic()
+        if wait_s > 0:
+            remaining = deadline.remaining()
+            if remaining is not None and wait_s >= remaining:
+                time.sleep(max(0.0, remaining))
+                budget_fail(item)
+                continue
+            time.sleep(wait_s)
         cached = _probe_run_cache(item.task)
         try:
             payload = execute_task(
-                item.task, item.attempt, faults.get(item.index)
+                item.task, item.attempt, faults.get(item.index),
+                exact=item.exact,
             )
         except Exception as exc:  # injected/unexpected faults
             retry_or_fail(item, f"{type(exc).__name__}: {exc}",
@@ -464,7 +596,7 @@ def _kill_pool(executor: ProcessPoolExecutor) -> None:
 
 
 def _run_parallel(pending, faults, jobs, timeout, finish, retry_or_fail,
-                  telemetry) -> None:
+                  telemetry, deadline, budget_fail) -> None:
     """Sliding-window execution over a ProcessPoolExecutor.
 
     At most ``jobs`` futures are in flight, so a submitted task starts
@@ -493,16 +625,35 @@ def _run_parallel(pending, faults, jobs, timeout, finish, retry_or_fail,
 
     try:
         while pending or probation or in_flight:
+            if deadline.expired():
+                # Out of wall-clock budget: everything still queued or
+                # in flight becomes a typed failure, never a hang.
+                _kill_pool(executor)
+                leftovers = list(probation) + list(pending) + [
+                    item for item, _submitted in in_flight.values()
+                ]
+                probation.clear()
+                pending.clear()
+                in_flight.clear()
+                for item in leftovers:
+                    budget_fail(item)
+                return
             window = 1 if probation else jobs
             queue = probation if probation else pending
+            submitted = False
             while queue and len(in_flight) < window:
+                if queue[0].ready_at > time.monotonic():
+                    break  # head is backing off; let in-flight drain
                 item = queue.popleft()
                 future = executor.submit(
                     execute_task, item.task, item.attempt,
-                    faults.get(item.index),
+                    faults.get(item.index), item.exact,
                 )
                 in_flight[future] = (item, time.monotonic())
+                submitted = True
             if not in_flight:
+                if not submitted:
+                    time.sleep(0.01)  # everything is backing off
                 continue  # probation drained; refill at full window
             done, _ = wait(
                 in_flight, timeout=0.05, return_when=FIRST_COMPLETED

@@ -17,8 +17,21 @@ are no-ops when nothing is active, so plain ``run_kernel`` calls pay
 one ``is None`` check.
 
 This module deliberately imports nothing from the rest of the package
-(beyond the stdlib) so the machine and workload layers can use it
-without import cycles.
+(beyond the stdlib and the dependency-free
+:mod:`repro.resilience` base modules) so the machine and workload
+layers can use it without import cycles.
+
+Trace files are **crash-safe**: events append through a
+:class:`~repro.resilience.store.DurableLog` (line-buffered, one JSON
+object per line) and the scheduler flushes at stage boundaries, so a
+killed sweep leaves a readable trace ending at its last boundary.
+Reading is tolerant in return — :func:`read_trace` skips (and
+counts) malformed lines instead of raising, and
+:func:`summarize_trace` reports the skip count, so a half-written
+final line never takes the post-mortem down with it.  A trace write
+that starts failing (disk full, injected ``trace.write`` fault)
+degrades gracefully: file output is dropped, in-memory collection
+continues, and the degradation is itself recorded as an event.
 
 Trace event schema (see ``docs/sweep.md`` for the full field list)::
 
@@ -34,6 +47,9 @@ import time
 from collections import Counter
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from ..resilience import faults as _faults
+from ..resilience.store import DurableLog
 
 
 @dataclass
@@ -59,12 +75,19 @@ class Telemetry:
         self.counters: Counter = Counter()
         self.events: list[dict] = []
         self._trace_path = trace_path
-        self._trace_handle = None
+        self._trace_log: DurableLog | None = None
+        #: set to the failure message if file output had to be dropped
+        self.degraded: str | None = None
         if trace_path is not None:
             # Append: one CLI invocation may run several sweeps (e.g.
             # the five ablations) into one trace.  Callers that want a
-            # fresh trace truncate the file first.
-            self._trace_handle = open(trace_path, "a", encoding="utf-8")
+            # fresh trace truncate the file first.  Appends are
+            # line-buffered (flushed, not fsync'd) — the scheduler
+            # fsyncs at stage boundaries via :meth:`flush`.
+            self._trace_log = DurableLog(
+                trace_path, fsync=False, checksum=False,
+                keep_open=True,
+            )
 
     # -- events --------------------------------------------------------
 
@@ -74,14 +97,41 @@ class Telemetry:
                   "t": round(time.monotonic() - self._t0, 6)}
         record.update(fields)
         self.events.append(record)
-        if self._trace_handle is not None:
-            self._trace_handle.write(json.dumps(record) + "\n")
-            self._trace_handle.flush()
+        if self._trace_log is not None:
+            spec = _faults.check("trace.write",
+                                 path=self._trace_path or "")
+            try:
+                if spec is not None and spec.kind == "io-error":
+                    raise OSError(
+                        f"injected I/O error: trace write to "
+                        f"{self._trace_path}"
+                    )
+                self._trace_log.append(record)
+            except OSError as exc:
+                # Degrade, don't die: the trace is observability, not
+                # the result.  Keep collecting in memory and remember
+                # why the file went quiet.
+                self.degraded = f"{type(exc).__name__}: {exc}"
+                self._trace_log.detach()
+                self._trace_log = None
+                self.events.append({
+                    "event": "trace_degraded",
+                    "t": round(time.monotonic() - self._t0, 6),
+                    "error": self.degraded,
+                })
+
+    def flush(self, fsync: bool = False) -> None:
+        """Stage-boundary flush (optionally fsync) of the trace file."""
+        if self._trace_log is not None:
+            try:
+                self._trace_log.flush(fsync=fsync)
+            except OSError:
+                pass
 
     def close(self) -> None:
-        if self._trace_handle is not None:
-            self._trace_handle.close()
-            self._trace_handle = None
+        if self._trace_log is not None:
+            self._trace_log.close()
+            self._trace_log = None
 
     # -- stages --------------------------------------------------------
 
@@ -140,7 +190,9 @@ def reset() -> None:
     if _ACTIVE is not None:
         # Do not close(): a forked child shares the parent's file
         # descriptor and closing it would corrupt the parent's trace.
-        _ACTIVE._trace_handle = None
+        if _ACTIVE._trace_log is not None:
+            _ACTIVE._trace_log.detach()
+            _ACTIVE._trace_log = None
         _ACTIVE = None
 
 
@@ -173,6 +225,10 @@ def stage(name: str):
         telemetry.record_stage(
             name, time.perf_counter() - wall0, time.process_time() - cpu0
         )
+        # Stage boundaries are the crash-safety flush points: whatever
+        # was traced during the stage reaches the file before the next
+        # stage begins.
+        telemetry.flush()
 
 
 def emit(event: str, **fields) -> None:
@@ -190,14 +246,35 @@ def record_counters(counts: dict[str, int | float]) -> None:
 # ----------------------------------------------------------------------
 
 def read_trace(path: str) -> list[dict]:
-    """Load a JSONL trace file back into a list of event dicts."""
-    events = []
+    """Load a JSONL trace file back into a list of event dicts.
+
+    Malformed lines (a torn final write, a corrupted byte) are
+    skipped, not fatal; use :func:`read_trace_report` to also learn
+    how many were dropped.
+    """
+    events, _skipped = read_trace_report(path)
+    return events
+
+
+def read_trace_report(path: str) -> tuple[list[dict], int]:
+    """Tolerant trace load: ``(events, malformed_line_count)``."""
+    events: list[dict] = []
+    skipped = 0
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                events.append(json.loads(line))
-    return events
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(record, dict) and "event" in record:
+                events.append(record)
+            else:
+                skipped += 1
+    return events, skipped
 
 
 def summarize_trace(events: list[dict] | str) -> str:
@@ -210,8 +287,9 @@ def summarize_trace(events: list[dict] | str) -> str:
     """
     from ..experiments.formatting import TextTable
 
+    malformed = 0
     if isinstance(events, str):
-        events = read_trace(events)
+        events, malformed = read_trace_report(events)
     by_kind = Counter(e["event"] for e in events)
     stage_totals: dict[str, StageTotals] = {}
     counters: Counter = Counter()
@@ -240,6 +318,15 @@ def summarize_trace(events: list[dict] | str) -> str:
     table.add_row("worker crashes", by_kind.get("worker_crash", 0))
     table.add_row("timeouts", by_kind.get("task_timeout", 0))
     table.add_row("checkpoint skips", by_kind.get("checkpoint_skip", 0))
+    if malformed:
+        table.add_row("malformed trace lines", malformed)
+    if by_kind.get("fault_injected"):
+        table.add_row("faults injected", by_kind["fault_injected"])
+    if by_kind.get("fastpath_divergence"):
+        table.add_row("fastpath divergences",
+                      by_kind["fastpath_divergence"])
+    if by_kind.get("budget_exceeded"):
+        table.add_row("budget exceeded", by_kind["budget_exceeded"])
     for name, totals in sorted(stage_totals.items()):
         table.add_row(
             f"stage {name} (wall s / cpu s)",

@@ -26,6 +26,7 @@ import numpy as np
 from ..compiler import CompiledKernel, CompilerOptions, DEFAULT_OPTIONS, compile_kernel
 from ..errors import WorkloadError
 from ..machine import DEFAULT_CONFIG, MachineConfig, SimulationResult, Simulator
+from ..resilience import faults as _faults
 from ..sweep import telemetry
 from ..units import MAX_VL, cycles_per_vector_iteration
 from .lfk import KernelSpec, kernel
@@ -222,7 +223,9 @@ def run_kernel(
     Whole runs are memoized on (spec content, options, config) — the
     simulation is deterministic, so a repeat invocation returns the
     previously computed :class:`KernelRun` (treat it as read-only).
-    Passing an explicit ``compiled`` kernel bypasses the run cache.
+    Passing an explicit ``compiled`` kernel bypasses the run cache,
+    and so does an armed chaos plan: faults injected into one run must
+    not be memoized and served back as a "clean" result later.
     """
     spec = (
         spec_or_name
@@ -231,14 +234,15 @@ def run_kernel(
     )
     key = None
     if compiled is None:
-        key = (_spec_key(spec), options, config)
-        hit = _cache_get(_RUN_CACHE, key)
-        if hit is not None:
-            run, verified = hit
-            if verify and not verified:
-                run.verify()
-                _RUN_CACHE[key] = (run, True)
-            return run
+        if _faults.active_plan() is None:
+            key = (_spec_key(spec), options, config)
+            hit = _cache_get(_RUN_CACHE, key)
+            if hit is not None:
+                run, verified = hit
+                if verify and not verified:
+                    run.verify()
+                    _RUN_CACHE[key] = (run, True)
+                return run
         compiled = compile_spec(spec, options)
     with telemetry.stage("simulate"):
         sim = prepare_simulator(spec, compiled, config)

@@ -175,14 +175,31 @@ class TestShortVectors:
 
 
 class TestRunawayGuard:
-    def test_max_instructions_enforced(self):
-        from repro.errors import SimulationError
-
+    def _forever(self):
         b = AsmBuilder("forever")
         top = b.fresh_label()
         b.label(top)
         b.mov(Immediate(1), sreg(0))
         b.jump(top)
-        sim = Simulator(b.build())
-        with pytest.raises(SimulationError):
+        return b.build()
+
+    def test_max_instructions_enforced(self):
+        from repro.errors import BudgetExceededError
+
+        sim = Simulator(self._forever())
+        with pytest.raises(BudgetExceededError) as excinfo:
             sim.run(max_instructions=100)
+        assert excinfo.value.budget == "instructions"
+        assert excinfo.value.limit == 100
+
+    def test_cycle_budget_enforced(self):
+        from repro.errors import BudgetExceededError
+        from repro.machine import MachineConfig
+
+        sim = Simulator(
+            self._forever(), MachineConfig(cycle_budget=50.0)
+        )
+        with pytest.raises(BudgetExceededError) as excinfo:
+            sim.run()
+        assert excinfo.value.budget == "cycles"
+        assert excinfo.value.limit == 50.0

@@ -1,0 +1,176 @@
+"""Chaos harness: plan parsing, deterministic matching, fault points."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.resilience import faults
+from repro.resilience.faults import FaultPlan, FaultSpec, chaos
+from repro.resilience.store import DurableLog, atomic_write_text
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    faults.deactivate()
+
+
+class TestPlanParsing:
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "faults": [
+                {"site": "store.append", "kind": "io-error"},
+                {"site": "worker", "kind": "exit", "task": 0},
+            ]
+        }))
+        plan = FaultPlan.load(str(path))
+        assert len(plan.faults) == 2
+        assert plan.name == "plan.json"
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{nope")
+        with pytest.raises(ExperimentError, match="not valid JSON"):
+            FaultPlan.load(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="cannot read"):
+            FaultPlan.load(str(tmp_path / "nope.json"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown fault kind"):
+            FaultSpec(site="store.append", kind="explode")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown fault field"):
+            FaultSpec.from_dict({"site": "clock", "kind": "skew",
+                                 "bogus": 1})
+
+    def test_worker_fault_needs_task(self):
+        with pytest.raises(ExperimentError, match="task"):
+            FaultSpec(site="worker", kind="exit")
+
+    def test_worker_fault_wrong_kind_rejected(self):
+        with pytest.raises(ExperimentError, match="worker faults"):
+            FaultSpec(site="worker", kind="io-error", task=0)
+
+    def test_worker_faults_mapping(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(site="worker", kind="raise", task=1, count=2),
+            FaultSpec(site="worker", kind="hang", task=3, count=None),
+            FaultSpec(site="clock", kind="skew", value=5.0),
+        ))
+        assert plan.worker_faults() == {1: ("raise", 2),
+                                        3: ("hang", 99)}
+
+
+class TestMatching:
+    def test_after_and_count_window(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(site="s", kind="io-error", after=2, count=2),
+        ))
+        with chaos(plan):
+            hits = [faults.check("s") is not None for _ in range(6)]
+        assert hits == [False, False, True, True, False, False]
+
+    def test_count_none_fires_forever(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(site="s", kind="io-error", count=None),
+        ))
+        with chaos(plan):
+            assert all(faults.check("s") for _ in range(5))
+
+    def test_path_substring_filter(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(site="s", kind="io-error", path="ckpt"),
+        ))
+        with chaos(plan):
+            assert faults.check("s", path="/tmp/trace.jsonl") is None
+            assert faults.check("s", path="/tmp/sweep.ckpt") is not None
+
+    def test_deterministic_across_runs(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(site="s", kind="io-error", after=1, count=1),
+        ))
+
+        def run():
+            with chaos(plan):
+                return [faults.check("s") is not None
+                        for _ in range(4)]
+
+        assert run() == run()
+
+    def test_fired_log(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(site="s", kind="io-error"),
+        ))
+        with chaos(plan):
+            faults.check("s", path="p")
+            log = faults.fired()
+        assert log == [{"site": "s", "kind": "io-error", "path": "p",
+                        "hit": 1}]
+
+    def test_disarmed_is_none(self):
+        assert faults.check("anything") is None
+        assert faults.clock_skew() == 0.0
+
+    def test_clock_skew_sums(self):
+        plan = FaultPlan(faults=(
+            FaultSpec(site="clock", kind="skew", value=30.0),
+            FaultSpec(site="clock", kind="skew", value=12.0),
+        ))
+        with chaos(plan):
+            assert faults.clock_skew() == 42.0
+
+
+class TestFaultPoints:
+    def test_store_append_io_error(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        plan = FaultPlan(faults=(
+            FaultSpec(site="store.append", kind="io-error"),
+        ))
+        log = DurableLog(path)
+        with chaos(plan):
+            with pytest.raises(OSError, match="injected I/O error"):
+                log.append({"key": "x"})
+
+    def test_store_append_torn_write_leaves_recoverable_log(
+        self, tmp_path
+    ):
+        path = str(tmp_path / "log.jsonl")
+        log = DurableLog(path)
+        log.append({"key": "good"})
+        plan = FaultPlan(faults=(
+            FaultSpec(site="store.append", kind="torn-write"),
+        ))
+        with chaos(plan):
+            with pytest.raises(OSError, match="torn write"):
+                log.append({"key": "lost"})
+        records, report = DurableLog(path).recover()
+        assert [r["key"] for r in records] == ["good"]
+        assert report.truncated_bytes > 0
+
+    def test_atomic_write_io_error_preserves_old_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        plan = FaultPlan(faults=(
+            FaultSpec(site="store.atomic_write", kind="io-error"),
+        ))
+        with chaos(plan):
+            with pytest.raises(OSError):
+                atomic_write_text(str(path), "new")
+        assert path.read_text() == "old"
+
+    def test_atomic_write_torn_write_preserves_old_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        plan = FaultPlan(faults=(
+            FaultSpec(site="store.atomic_write", kind="torn-write"),
+        ))
+        with chaos(plan):
+            with pytest.raises(OSError):
+                atomic_write_text(str(path), "new contents")
+        assert path.read_text() == "old"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]

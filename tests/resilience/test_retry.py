@@ -1,0 +1,56 @@
+"""RetryPolicy: bounded backoff, deterministic jitter."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.resilience.retry import RetryPolicy
+
+
+class TestPolicy:
+    def test_allows_within_budget(self):
+        policy = RetryPolicy(retries=2)
+        assert policy.allows(1) and policy.allows(2)
+        assert not policy.allows(3)
+        assert policy.max_attempts == 3
+
+    def test_zero_retries(self):
+        policy = RetryPolicy.from_retries(0)
+        assert not policy.allows(1)
+        assert policy.max_attempts == 1
+
+    def test_backoff_grows_then_caps(self):
+        policy = RetryPolicy(retries=8, base_delay_s=0.05,
+                             max_delay_s=0.4, multiplier=2.0,
+                             jitter=0.0)
+        delays = [policy.backoff_s(n) for n in range(1, 7)]
+        assert delays == [0.05, 0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(jitter=0.5)
+        f1 = policy.jitter_fraction("lfk1:default", 2)
+        f2 = policy.jitter_fraction("lfk1:default", 2)
+        assert f1 == f2
+        assert 0.5 <= f1 <= 1.0
+
+    def test_jitter_decorrelates_keys(self):
+        policy = RetryPolicy(jitter=0.5)
+        fractions = {
+            policy.jitter_fraction(f"task{i}", 1) for i in range(16)
+        }
+        assert len(fractions) > 1
+
+    def test_immediate_has_no_delay(self):
+        policy = RetryPolicy.immediate(retries=3)
+        assert policy.backoff_s(1) == 0.0
+        assert policy.backoff_s(3) == 0.0
+        assert policy.allows(3) and not policy.allows(4)
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ExperimentError):
+            RetryPolicy(base_delay_s=0.5, max_delay_s=0.1)
+        with pytest.raises(ExperimentError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ExperimentError):
+            RetryPolicy(jitter=1.5)

@@ -1,0 +1,118 @@
+"""Fastpath divergence sentinel: cross-check, injected divergence,
+and the scheduler's auto-fallback + quarantine path."""
+
+import pytest
+
+from repro.resilience import faults, sentinel
+from repro.resilience.faults import FaultPlan, FaultSpec, chaos
+from repro.sweep import SweepSpec, read_trace, run_sweep
+from repro.sweep.spec import OPTION_VARIANTS, SweepTask
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    faults.deactivate()
+
+
+GRID = SweepSpec.build(
+    ("lfk1", "lfk12"), variants={"default": OPTION_VARIANTS["default"]}
+)
+
+SKEW_PLAN = FaultPlan(faults=(
+    FaultSpec(site="sentinel.fast_cycles", kind="skew", value=8.0),
+), name="skew-sentinel")
+
+
+class TestCrossCheck:
+    def test_healthy_fastpath_passes(self):
+        task = sentinel.pick_cell(GRID.expand())
+        verdict = sentinel.cross_check(task)
+        assert verdict.checked and not verdict.diverged
+        assert verdict.fast_cycles == verdict.exact_cycles > 0
+
+    def test_pick_cell_skips_ineligible(self):
+        from repro.machine import DEFAULT_CONFIG
+
+        nofp = SweepTask(
+            "lfk1", OPTION_VARIANTS["default"],
+            config=DEFAULT_CONFIG.without_fastpath(),
+        )
+        eligible = SweepTask("lfk12", OPTION_VARIANTS["default"])
+        assert sentinel.pick_cell([nofp, eligible]) is eligible
+        assert sentinel.pick_cell([nofp]) is None
+
+    def test_injected_timing_skew_detected(self):
+        task = sentinel.pick_cell(GRID.expand())
+        with chaos(SKEW_PLAN):
+            verdict = sentinel.cross_check(task)
+        assert verdict.checked and verdict.diverged
+        assert verdict.mismatches == ("cycles",)
+        assert verdict.fast_cycles == verdict.exact_cycles + 8.0
+        assert "mismatch" in verdict.reason
+
+    def test_broken_cell_reports_unchecked(self):
+        # lfk4 cannot compile under tight-sregs: not the sentinel's
+        # problem, so checked=False rather than a crash.
+        task = SweepTask("lfk4", OPTION_VARIANTS["tight-sregs"])
+        verdict = sentinel.cross_check(task)
+        assert not verdict.checked and not verdict.diverged
+        assert verdict.reason
+
+    def test_engage_skew_detected_through_real_engine(self):
+        # Skew the fast path's clocks *inside* a real engagement: the
+        # sentinel sees the simulator itself misreport cycles.
+        task = sentinel.pick_cell(GRID.expand())
+        plan = FaultPlan(faults=(
+            FaultSpec(site="fastpath.engage", kind="skew",
+                      value=64.0, count=1),
+        ))
+        with chaos(plan):
+            verdict = sentinel.cross_check(task)
+        assert verdict.diverged
+        assert "cycles" in verdict.mismatches
+
+
+class TestSchedulerFallback:
+    def test_divergence_triggers_exact_fallback_and_quarantine(
+        self, tmp_path
+    ):
+        trace = tmp_path / "trace.jsonl"
+        with chaos(SKEW_PLAN):
+            result = run_sweep(GRID, jobs=1, sentinel=True,
+                               trace=str(trace))
+        assert all(o.ok for o in result.outcomes)
+        events = read_trace(str(trace))
+        kinds = [e["event"] for e in events]
+        assert "sentinel_check" in kinds
+        assert "fastpath_divergence" in kinds
+        quarantined = next(
+            e for e in events if e["event"] == "config_quarantined"
+        )
+        assert len(quarantined["tasks"]) == len(result.outcomes)
+        assert "exact" in quarantined["fallback"]
+
+    def test_fallback_results_match_no_fastpath_run(self, tmp_path):
+        # Degraded execution must equal an honest no-fastpath sweep.
+        with chaos(SKEW_PLAN):
+            degraded = run_sweep(GRID, jobs=1, sentinel=True)
+        exact_grid = SweepSpec.build(
+            ("lfk1", "lfk12"),
+            variants={"default": OPTION_VARIANTS["default"]},
+        )
+        baseline = run_sweep(exact_grid, jobs=1)
+        assert degraded.results_jsonl() == baseline.results_jsonl()
+
+    def test_healthy_sweep_emits_clean_sentinel_check(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        result = run_sweep(GRID, jobs=1, sentinel=True,
+                           trace=str(trace))
+        assert all(o.ok for o in result.outcomes)
+        events = read_trace(str(trace))
+        check = next(
+            e for e in events if e["event"] == "sentinel_check"
+        )
+        assert check["checked"] and not check["diverged"]
+        assert not any(
+            e["event"] == "fastpath_divergence" for e in events
+        )

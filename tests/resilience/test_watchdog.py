@@ -1,0 +1,70 @@
+"""Watchdog budgets: cycle/step ceilings and deadlines (with chaos
+clock skew standing in for the passage of real time)."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.resilience import faults, watchdog
+from repro.resilience.faults import FaultPlan, FaultSpec, chaos
+from repro.resilience.watchdog import Deadline
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    faults.deactivate()
+
+
+class TestCeilings:
+    def test_cycles_within_budget(self):
+        watchdog.check_cycles(99.0, 100.0, "kern")
+
+    def test_cycles_over_budget(self):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            watchdog.check_cycles(150.0, 100.0, "kern")
+        exc = excinfo.value
+        assert exc.budget == "cycles"
+        assert exc.spent == 150.0 and exc.limit == 100.0
+        assert "kern" in str(exc)
+
+    def test_cycles_no_limit(self):
+        watchdog.check_cycles(1e12, None, "kern")
+
+    def test_instructions_over_budget(self):
+        with pytest.raises(BudgetExceededError) as excinfo:
+            watchdog.check_instructions(100, 100, "kern")
+        assert excinfo.value.budget == "instructions"
+        assert "runaway" in str(excinfo.value)
+
+
+class TestDeadline:
+    def test_none_never_expires(self):
+        deadline = Deadline(None)
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+        deadline.check("sweep")  # no raise
+
+    def test_negative_rejected(self):
+        with pytest.raises(BudgetExceededError):
+            Deadline(-1.0)
+
+    def test_expiry_via_clock_skew(self):
+        # the chaos clock moves time forward without sleeping
+        deadline = Deadline(10.0)
+        assert not deadline.expired()
+        skew = FaultPlan(faults=(
+            FaultSpec(site="clock", kind="skew", value=60.0),
+        ))
+        with chaos(skew):
+            assert deadline.expired()
+            with pytest.raises(BudgetExceededError) as excinfo:
+                deadline.check("sweep")
+        assert excinfo.value.budget == "wall-clock"
+        assert excinfo.value.limit == 10.0
+        assert not deadline.expired()  # skew gone, time restored
+
+    def test_elapsed_monotone(self):
+        deadline = Deadline(100.0)
+        first = deadline.elapsed()
+        second = deadline.elapsed()
+        assert second >= first >= 0.0

@@ -133,11 +133,37 @@ class TestCheckpoint:
         assert len(result.outcomes) == 4
         assert all(o.ok for o in result.outcomes)
 
-    def test_corrupt_checkpoint_is_actionable(self, tmp_path):
+    def test_corrupt_checkpoint_recovers(self, tmp_path):
+        # Corruption no longer kills the sweep: the bad record is
+        # quarantined, the recovery is reported to the trace, and the
+        # sweep runs to completion with the surviving entries.
         ckpt = tmp_path / "ckpt.jsonl"
-        ckpt.write_text("not json\n")
-        with pytest.raises(ExperimentError, match="corrupt checkpoint"):
-            run_sweep(SMALL_GRID, jobs=1, checkpoint=str(ckpt))
+        # interior corruption (a final bad line would be classified as
+        # a torn tail and truncated instead)
+        ckpt.write_text('not json\n{"key": "stale-cell"}\n')
+        trace = tmp_path / "trace.jsonl"
+        result = run_sweep(SMALL_GRID, jobs=1, checkpoint=str(ckpt),
+                           trace=str(trace))
+        assert all(o.ok for o in result.outcomes)
+        events = read_trace(str(trace))
+        recovered = [e for e in events
+                     if e["event"] == "checkpoint_recovered"]
+        assert len(recovered) == 1
+        assert recovered[0]["quarantined"] == 1
+        assert (tmp_path / "ckpt.jsonl.quarantine").exists()
+
+    def test_torn_checkpoint_tail_truncated(self, tmp_path):
+        # A torn final record (SIGKILL mid-append) is silently
+        # truncated; the affected cell simply re-runs.
+        ckpt = tmp_path / "ckpt.jsonl"
+        tasks = SMALL_GRID.expand()
+        run_sweep(tasks, jobs=1, checkpoint=str(ckpt))
+        whole = ckpt.read_bytes()
+        ckpt.write_bytes(whole[:-10])  # tear the last record
+        result = run_sweep(tasks, jobs=1, checkpoint=str(ckpt))
+        assert all(o.ok for o in result.outcomes)
+        # exactly one cell lost its checkpoint entry and re-ran
+        assert sum(o.attempts > 0 for o in result.outcomes) == 1
 
 
 class TestParallel:

@@ -51,7 +51,7 @@ class TestCommands:
         assert main(["experiment", "bogus"]) == 2
 
     def test_unknown_kernel_reports_error(self, capsys):
-        assert main(["run", "lfk5"]) == 1
+        assert main(["run", "lfk5"]) == 3
         assert "error" in capsys.readouterr().err
 
     def test_missing_command_rejected(self):
@@ -61,12 +61,12 @@ class TestCommands:
 
 class TestErrorPaths:
     def test_unknown_workload_name(self, capsys):
-        assert main(["run", "nosuchkernel"]) == 1
+        assert main(["run", "nosuchkernel"]) == 3
         err = capsys.readouterr().err
         assert "error" in err and "nosuchkernel" in err
 
     def test_sweep_unknown_workload_name(self, capsys):
-        assert main(["sweep", "nosuchkernel"]) == 1
+        assert main(["sweep", "nosuchkernel"]) == 3
         err = capsys.readouterr().err
         assert "nosuchkernel" in err
 
@@ -114,7 +114,7 @@ class TestErrorPaths:
         assert "conflicts" in capsys.readouterr().err
 
     def test_experiment_bad_jobs_value(self, capsys):
-        assert main(["experiment", "figure1", "--jobs", "0"]) == 1
+        assert main(["experiment", "figure1", "--jobs", "0"]) == 5
         assert "jobs" in capsys.readouterr().err
 
 
@@ -217,7 +217,7 @@ class TestLintCommand:
         assert "unknown severity" in capsys.readouterr().err
 
     def test_lint_unknown_workload(self, capsys):
-        assert main(["lint", "nope"]) == 1
+        assert main(["lint", "nope"]) == 3
         assert "error" in capsys.readouterr().err
 
     def test_compile_strict_passes_clean_kernel(self, capsys):

@@ -15,12 +15,20 @@ class TestHierarchy:
             "ParseError", "SemanticError", "CompileError",
             "VectorizationError", "RegisterAllocationError",
             "ScheduleError", "ModelError", "WorkloadError",
-            "ExperimentError",
+            "ExperimentError", "StoreError", "BudgetExceededError",
         ],
     )
     def test_all_derive_from_repro_error(self, name):
         exc_type = getattr(errors, name)
         assert issubclass(exc_type, errors.ReproError)
+
+    def test_budget_exceeded_carries_accounting(self):
+        exc = errors.BudgetExceededError(
+            "out of cycles", budget="cycles", spent=120.0, limit=100.0
+        )
+        assert exc.budget == "cycles"
+        assert exc.spent == 120.0
+        assert exc.limit == 100.0
 
     def test_memory_error_does_not_shadow_builtin(self):
         assert not issubclass(errors.MemoryError_, MemoryError)

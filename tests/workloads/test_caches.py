@@ -34,15 +34,17 @@ class TestClearCaches:
         assert telemetry.current() is None
 
     def test_reset_does_not_close_inherited_trace_handle(self, tmp_path):
-        # reset() must drop the handle reference without closing it:
-        # after a fork the child shares the parent's file descriptor,
-        # and closing it would corrupt the parent's trace.
+        # reset() must detach the durable log's handle without closing
+        # it: after a fork the child shares the parent's file
+        # descriptor, and closing it would corrupt the parent's trace.
         trace = tmp_path / "trace.jsonl"
         collector = telemetry.Telemetry(trace_path=str(trace))
         telemetry.activate(collector)
-        handle = collector._trace_handle
+        collector.emit("probe")  # the append handle opens lazily
+        handle = collector._trace_log._handle
         assert handle is not None
         clear_caches()
+        assert collector._trace_log is None
         assert not handle.closed
         handle.close()
 
