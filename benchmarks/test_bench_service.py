@@ -1,0 +1,61 @@
+"""Analysis-service throughput benchmarks.
+
+Times a burst of mixed requests through a live server — once against a
+cold cache (every body computed by the worker pool) and once warm
+(every body replayed from the result cache, no pool involvement).  The
+asserts double as an end-to-end regression gate on the service's two
+core invariants: origins are reported truthfully, and warm requests
+never touch the pool.
+"""
+
+import pytest
+
+from repro.service import ServiceClient, ServiceConfig, start_in_thread
+
+#: A small mixed burst: three kernels across three request kinds.
+BURST = [
+    (kind, {"kernel": kernel})
+    for kernel in ("lfk1", "lfk3", "lfk12")
+    for kind in ("bound", "mac", "lint")
+]
+
+
+@pytest.fixture
+def service(tmp_path):
+    thread = start_in_thread(
+        ServiceConfig(
+            socket_path=str(tmp_path / "bench.sock"), workers=2,
+            client_limit=len(BURST),
+        )
+    )
+    try:
+        yield thread
+    finally:
+        thread.stop()
+
+
+def test_bench_service_cold_burst(benchmark, service):
+    with ServiceClient(service.endpoints[0]) as client:
+        responses = benchmark.pedantic(
+            lambda: client.request_many(BURST),
+            rounds=1, iterations=1,
+        )
+        assert all(response.ok for response in responses)
+        assert {response.origin for response in responses} <= \
+            {"computed", "coalesced"}
+
+
+def test_bench_service_warm_burst(benchmark, service):
+    with ServiceClient(service.endpoints[0]) as client:
+        assert all(
+            r.ok for r in client.request_many(BURST)
+        )  # prime the cache
+        computed_before = client.metrics()["computed"]
+        responses = benchmark.pedantic(
+            lambda: client.request_many(BURST),
+            rounds=1, iterations=1,
+        )
+        assert all(response.origin == "cache"
+                   for response in responses)
+        # Warm requests never touch the worker pool.
+        assert client.metrics()["computed"] == computed_before

@@ -12,12 +12,16 @@ Subcommands::
     macs-repro sweep --jobs 4            # parallel workload x option grid
     macs-repro fsck sweep.ckpt           # integrity-scan an artifact log
     macs-repro --chaos plan.json sweep   # run under fault injection
+    macs-repro serve --socket /tmp/m.s   # batching analysis server
+    macs-repro request bound --kernel lfk1 --endpoint unix:/tmp/m.s
 
-Exit codes map the error taxonomy (see ``docs/sweep.md``): 0 success,
-1 findings (lint errors, failed sweep cells reported as results),
-2 usage errors, 3 workload/compile-layer errors, 4 simulation/machine
-errors (including exhausted watchdog budgets), 5 infrastructure
-errors (store corruption, crashed sweeps, bad fault plans).
+Exit codes map the error taxonomy (see ``docs/sweep.md`` and
+``docs/robustness.md``): 0 success, 1 findings (lint errors, failed
+sweep cells reported as results), 2 usage errors, 3 workload/compile-
+layer errors, 4 simulation/machine errors (including exhausted
+watchdog budgets and expired request deadlines), 5 infrastructure
+errors (store corruption, crashed sweeps, bad fault plans), 6 server
+unavailable (cannot connect, admission-rejected, draining).
 """
 
 from __future__ import annotations
@@ -55,6 +59,7 @@ EXIT_USAGE = 2
 EXIT_WORKLOAD = 3
 EXIT_SIMULATION = 4
 EXIT_INFRASTRUCTURE = 5
+EXIT_SERVER = 6
 
 
 def exit_code_for(exc: ReproError) -> int:
@@ -451,6 +456,108 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the batching analysis server until SIGTERM drains it."""
+    from .service import ServiceConfig, serve
+
+    host = args.host
+    if args.socket is None and host is None:
+        host = "127.0.0.1"
+    config = ServiceConfig(
+        socket_path=args.socket,
+        host=host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        client_limit=args.client_limit,
+        cache_path=args.cache,
+        cache_max=args.cache_max,
+        default_deadline_s=args.deadline,
+        job_timeout_s=args.job_timeout,
+        retries=args.retries,
+    )
+
+    def announce(server) -> None:
+        for endpoint in server.endpoints:
+            print(f"listening on {endpoint}", flush=True)
+
+    return serve(config, announce=announce)
+
+
+def _cmd_request(args) -> int:
+    """Send one request to an analysis server (or execute offline)."""
+    import json as _json
+
+    from .service.client import ServiceClient, offline_response
+    from .service.protocol import ProtocolError
+
+    params: dict = {}
+    if args.params:
+        try:
+            loaded = _json.loads(args.params)
+        except _json.JSONDecodeError as exc:
+            print(f"error: --params is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        if not isinstance(loaded, dict):
+            print("error: --params must be a JSON object",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        params.update(loaded)
+    if args.kernel is not None:
+        params["kernel"] = args.kernel
+    if args.variant is not None:
+        params["variant"] = args.variant
+    if args.options is not None:
+        params["options"] = args.options
+    if args.n is not None:
+        params["n"] = args.n
+    if args.no_fastpath:
+        params["no_fastpath"] = True
+    if args.max_cycles is not None:
+        params["max_cycles"] = args.max_cycles
+
+    try:
+        if args.offline:
+            response = offline_response(args.kind, params)
+        else:
+            if args.endpoint is None:
+                print(
+                    "error: request needs an --endpoint "
+                    "(unix:/path or tcp:host:port), or --offline",
+                    file=sys.stderr,
+                )
+                return EXIT_USAGE
+            with ServiceClient(args.endpoint,
+                               timeout=args.timeout) as client:
+                response = client.request(
+                    args.kind, params, deadline_s=args.deadline
+                )
+    except ProtocolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ExperimentError as exc:
+        # Transport-level failure: the server is unavailable.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_SERVER
+
+    if args.json:
+        envelope = {
+            "id": response.id,
+            "status": response.status,
+            "kind": response.kind,
+            "key": response.key,
+            "origin": response.origin,
+            "body": response.body,
+        }
+        if response.error:
+            envelope["error"] = response.error
+        print(_json.dumps(envelope, indent=2, sort_keys=True))
+    else:
+        print(response.render())
+    return response.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="macs-repro",
@@ -604,6 +711,118 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of only reporting them",
     )
 
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the batching analysis server (NDJSON over a "
+        "UNIX or TCP socket)",
+    )
+    serve_cmd.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a UNIX socket at PATH",
+    )
+    serve_cmd.add_argument(
+        "--host", default=None, metavar="HOST",
+        help="listen on TCP HOST (default 127.0.0.1 when no --socket)",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=0, metavar="PORT",
+        help="TCP port (default 0 = ephemeral, announced on stdout)",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="persistent worker processes (default 1)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="max computations queued-or-running before admission "
+        "control rejects new leaders (default 64)",
+    )
+    serve_cmd.add_argument(
+        "--client-limit", type=int, default=8, metavar="N",
+        help="max in-flight requests per connection (default 8)",
+    )
+    serve_cmd.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="durable result-cache log; recovered on restart",
+    )
+    serve_cmd.add_argument(
+        "--cache-max", type=int, default=512, metavar="N",
+        help="result-cache entry bound (default 512)",
+    )
+    serve_cmd.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request wall-clock budget (default: none)",
+    )
+    serve_cmd.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt hang ceiling for worker jobs; a stuck "
+        "worker is killed and the job retried (default: none)",
+    )
+    serve_cmd.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="retry budget for crashed/hung worker jobs (default 2)",
+    )
+
+    request_cmd = sub.add_parser(
+        "request",
+        help="send one request to an analysis server "
+        "(or execute it --offline)",
+    )
+    request_cmd.add_argument(
+        "kind",
+        help="request kind: run, bound, mac, ax, lint, analyze, "
+        "report, sweep, ping, healthz, metrics, drain",
+    )
+    request_cmd.add_argument(
+        "--endpoint", default=None, metavar="ADDR",
+        help="server endpoint: unix:/path or tcp:host:port",
+    )
+    request_cmd.add_argument(
+        "--offline", action="store_true",
+        help="execute the request inline without a server; the "
+        "output is byte-identical to the server's for the same "
+        "request",
+    )
+    request_cmd.add_argument(
+        "--params", default=None, metavar="JSON",
+        help="raw request params as a JSON object",
+    )
+    request_cmd.add_argument(
+        "--kernel", default=None, help="workload name shorthand"
+    )
+    request_cmd.add_argument(
+        "--variant", default=None,
+        help="compiler-option variant name shorthand",
+    )
+    request_cmd.add_argument(
+        "--options", default=None, metavar="KV",
+        help="compiler options as 'key=value,...' shorthand",
+    )
+    request_cmd.add_argument(
+        "--n", type=int, default=None, metavar="N",
+        help="problem-size shorthand",
+    )
+    request_cmd.add_argument(
+        "--no-fastpath", action="store_true",
+        help="disable the steady-state fast path for this request",
+    )
+    request_cmd.add_argument(
+        "--max-cycles", type=float, default=None, metavar="CYCLES",
+        help="simulated-cycle watchdog budget for this request",
+    )
+    request_cmd.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline for this request",
+    )
+    request_cmd.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="client socket timeout (default 30)",
+    )
+    request_cmd.add_argument(
+        "--json", action="store_true",
+        help="print the full response envelope as JSON",
+    )
+
     run_cmd = sub.add_parser("run", help="simulate one kernel")
     run_cmd.add_argument("kernel")
     run_cmd.add_argument(
@@ -641,6 +860,8 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "fsck": _cmd_fsck,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
     }
     try:
         if args.chaos:

@@ -23,20 +23,28 @@ def _section(result: ExperimentResult) -> str:
     return buffer.getvalue()
 
 
-def generate_report(experiment_names: list[str] | None = None) -> str:
-    """Run experiments (all registered by default) and render markdown."""
+_PREAMBLE = (
+    "Regenerated tables, figures, studies and ablations for "
+    "*Hierarchical Performance Modeling with MACS* "
+    "(Boyd & Davidson, ISCA 1993)."
+)
+
+
+def report_payload(
+    experiment_names: list[str] | None = None,
+) -> dict:
+    """Run experiments and return a fully serializable payload.
+
+    This is the JSON-able form carried over the analysis service wire
+    (``report`` requests) and cached by content digest; rendering it
+    with :func:`render_payload` reproduces :func:`generate_report`'s
+    markdown byte for byte.
+    """
     from . import EXPERIMENTS
 
     names = list(EXPERIMENTS) if experiment_names is None else \
         experiment_names
-    sections = [
-        "# MACS reproduction report",
-        "",
-        "Regenerated tables, figures, studies and ablations for "
-        "*Hierarchical Performance Modeling with MACS* "
-        "(Boyd & Davidson, ISCA 1993).",
-        "",
-    ]
+    sections = []
     for name in names:
         runner = EXPERIMENTS.get(name)
         if runner is None:
@@ -46,8 +54,42 @@ def generate_report(experiment_names: list[str] | None = None) -> str:
                 f"unknown experiment {name!r}; known: "
                 f"{', '.join(EXPERIMENTS)}"
             )
-        sections.append(_section(runner()))
-    return "\n".join(sections)
+        result = runner()
+        sections.append({
+            "name": name,
+            "artifact": result.artifact,
+            "title": result.title,
+            "body": result.body,
+            "notes": list(result.notes),
+        })
+    return {
+        "title": "MACS reproduction report",
+        "preamble": _PREAMBLE,
+        "sections": sections,
+    }
+
+
+def render_payload(payload: dict) -> str:
+    """Render a :func:`report_payload` dict to the markdown document."""
+    parts = [
+        f"# {payload.get('title', 'MACS reproduction report')}",
+        "",
+        payload.get("preamble", _PREAMBLE),
+        "",
+    ]
+    for section in payload.get("sections", []):
+        parts.append(_section(ExperimentResult(
+            artifact=section["artifact"],
+            title=section["title"],
+            body=section["body"],
+            notes=tuple(section.get("notes", ())),
+        )))
+    return "\n".join(parts)
+
+
+def generate_report(experiment_names: list[str] | None = None) -> str:
+    """Run experiments (all registered by default) and render markdown."""
+    return render_payload(report_payload(experiment_names))
 
 
 def write_report(

@@ -30,8 +30,11 @@ Fields:
 * ``site`` — where to inject.  Instrumented sites: ``store.append``,
   ``store.atomic_write``, ``trace.write`` (telemetry),
   ``fastpath.engage`` (simulator fast path), ``sentinel.fast_cycles``
-  (divergence sentinel), ``clock`` (wall-clock skew, seconds), and
-  ``worker`` (sweep worker processes).
+  (divergence sentinel), ``clock`` (wall-clock skew, seconds),
+  ``worker`` (sweep worker processes), ``service.accept`` (analysis-
+  server connections dropped at accept), and ``service.cache_write``
+  (analysis-server durable cache appends fail; the cache degrades to
+  memory-only).
 * ``kind`` — ``io-error`` (raise ``OSError``), ``torn-write`` (write
   a prefix of the bytes, then raise), ``skew`` (add ``value`` to a
   clock), or — for ``site="worker"`` — ``raise``/``exit``/``hang``.
@@ -67,7 +70,8 @@ from ..errors import ExperimentError
 
 _SITES_HINT = (
     "store.append, store.atomic_write, trace.write, fastpath.engage, "
-    "sentinel.fast_cycles, clock, worker"
+    "sentinel.fast_cycles, clock, worker, service.accept, "
+    "service.cache_write"
 )
 _KINDS = ("io-error", "torn-write", "skew", "raise", "exit", "hang")
 _WORKER_KINDS = ("raise", "exit", "hang")

@@ -1,0 +1,181 @@
+"""Bounded, content-addressed, restart-surviving result cache.
+
+Keys are the protocol's content digests
+(:attr:`repro.service.protocol.Request.key`); values are deterministic
+response bodies.  The cache is an LRU bounded by entry count (bodies
+are small JSON documents), and optionally **durable**: with a ``path``
+every computed body is appended to a CRC-framed
+:class:`~repro.resilience.store.DurableLog`, and a restarting server
+recovers the log (torn tails truncated, corrupt records quarantined —
+the PR-4 semantics) to come back warm.
+
+Persistence is observability-grade resilient: a failing append
+(disk full, injected ``service.cache_write`` fault) degrades the cache
+to memory-only instead of failing the request — the result was already
+computed; losing durability must not lose the response.
+
+``clear_caches()`` (in :mod:`repro.workloads.runner`) calls
+:func:`clear_service_caches`, and forked worker processes drop every
+live cache's state at fork: a child that inherited the parent's
+entries would serve "cached" results it never computed, and an
+inherited log handle would corrupt the parent's file.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from collections import OrderedDict
+
+from ..errors import ExperimentError
+from ..resilience import faults as _faults
+from ..resilience.store import DurableLog, RecoveryReport
+
+#: Every live cache, so process-wide resets can find them all.
+_LIVE: "weakref.WeakSet[ResultCache]" = weakref.WeakSet()
+
+
+def _validate_record(record) -> str | None:
+    """Semantic validation for recovered cache records."""
+    if not isinstance(record, dict):
+        return "cache record is not an object"
+    if not isinstance(record.get("key"), str) or not record["key"]:
+        return "cache record has no key"
+    if not isinstance(record.get("body"), dict):
+        return "cache record has no body"
+    return None
+
+
+class ResultCache:
+    """LRU result cache keyed by request content digests."""
+
+    def __init__(self, max_entries: int = 512,
+                 path: str | None = None, fsync: bool = True):
+        if max_entries < 1:
+            raise ExperimentError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        #: why persistence was dropped, or None while healthy
+        self.degraded: str | None = None
+        self.last_recovery: RecoveryReport | None = None
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._log: DurableLog | None = None
+        if path is not None:
+            self._log = DurableLog(path, fsync=fsync, checksum=True)
+            self._load()
+        _LIVE.add(self)
+
+    # -- durability ----------------------------------------------------
+
+    def _load(self) -> None:
+        """Recover the durable log; later records win (LRU order)."""
+        records, report = self._log.recover(validate=_validate_record)
+        self.last_recovery = report
+        for record in records:
+            key = record["key"]
+            self._entries.pop(key, None)
+            self._entries[key] = {
+                "kind": record.get("kind", ""),
+                "body": record["body"],
+            }
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def _persist(self, key: str, kind: str, body: dict) -> None:
+        if self._log is None or self.degraded is not None:
+            return
+        spec = _faults.check("service.cache_write",
+                             path=self.path or "")
+        try:
+            if spec is not None and spec.kind == "io-error":
+                raise OSError(
+                    f"injected I/O error: cache write to {self.path}"
+                )
+            self._log.append({"key": key, "kind": kind, "body": body})
+        except OSError as exc:
+            # Degrade to memory-only: the response is already computed
+            # and cached in RAM; only restart-warmth is lost.
+            self.degraded = f"{type(exc).__name__}: {exc}"
+            self._log.detach()
+            self._log = None
+
+    # -- the cache -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> dict | None:
+        """The cached body for ``key``, or None (counts hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry["body"]
+
+    def put(self, key: str, kind: str, body: dict) -> None:
+        """Insert a computed body (evicts LRU, appends durably)."""
+        self._entries.pop(key, None)
+        self._entries[key] = {"kind": kind, "body": body}
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        self._persist(key, kind, body)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "durable": self._log is not None,
+            "degraded": self.degraded,
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and the hit/miss counters (not the log:
+        the durable record of computed results remains valid)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def close(self) -> None:
+        if self._log is not None:
+            self._log.close()
+
+    def _reset_in_child(self) -> None:
+        """Fork-time reset: cold entries, detached (never closed)
+        log handle — the parent still owns the file descriptor."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        if self._log is not None:
+            self._log.detach()
+            self._log = None
+
+
+def clear_service_caches() -> None:
+    """Clear every live service result cache (see ``clear_caches``)."""
+    for cache in list(_LIVE):
+        cache.clear()
+
+
+def _reset_caches_in_children() -> None:
+    for cache in list(_LIVE):
+        cache._reset_in_child()
+
+
+# Forked workers must start with cold service caches and no shared log
+# handles (mirrors the compile/run-cache fork hygiene in
+# repro.workloads.runner).
+os.register_at_fork(after_in_child=_reset_caches_in_children)

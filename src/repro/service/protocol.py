@@ -1,0 +1,494 @@
+"""Wire protocol and request canonicalization for the analysis server.
+
+**Framing.**  Both directions speak newline-delimited JSON: one request
+or response object per ``\\n``-terminated line, UTF-8, no length
+prefix.  A connection may pipeline many requests; responses carry the
+request ``id`` and may arrive out of order.
+
+**Request envelope**::
+
+    {"id": "r1", "kind": "bound", "params": {"kernel": "lfk1"}}
+
+``kind`` is one of the compute kinds (:data:`REQUEST_KINDS` — ``run``,
+``bound``, ``mac``, ``ax``, ``lint``, ``analyze``, ``report``,
+``sweep``) or a control kind handled by the frontend without touching
+the worker pool (:data:`CONTROL_KINDS` — ``ping``, ``healthz``,
+``metrics``, ``drain``).  ``deadline_s`` (optional, top level) bounds
+the request's wall clock.
+
+**Response envelope**::
+
+    {"id": "r1", "status": "ok", "kind": "bound", "key": "...",
+     "origin": "computed", "elapsed_ms": 1.87, "body": {...}}
+
+``status`` is ``ok`` | ``error`` (typed domain failure, carries
+``error.exit_code`` from the CLI taxonomy) | ``rejected`` (admission
+control, carries ``error.retry_after_s``).  ``origin`` says how the
+body was produced: ``computed`` (this request ran a worker job),
+``coalesced`` (attached to an identical in-flight request),
+``cache`` (served from the result cache), or ``offline`` (client-side
+execution, no server).  The **body is deterministic** — byte-identical
+for any origin — while the envelope (origin, timing) is not.
+
+**Canonicalization.**  :func:`canonicalize` validates raw params,
+resolves compiler-option variants and machine-config switches, and
+produces a :class:`Request` whose ``key`` is a content digest: ``run``
+/ ``bound`` / ``mac`` requests reuse the sweep engine's
+:class:`~repro.sweep.spec.SweepTask` keys verbatim, everything else
+digests its canonical payload with the same
+:func:`~repro.sweep.spec.digest`.  Two requests with the same key
+compute the same result — that is the contract single-flight dedup and
+the result cache are built on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+
+from ..compiler.options import DEFAULT_OPTIONS, CompilerOptions, ReductionStyle
+from ..errors import (
+    BudgetExceededError,
+    ExperimentError,
+    MachineError,
+    ReproError,
+    StoreError,
+    WorkloadError,
+)
+from ..machine import DEFAULT_CONFIG
+from ..sweep.spec import OPTION_VARIANTS, SweepTask, digest
+
+#: Compute kinds (executed on the worker pool, keyed and cached).
+REQUEST_KINDS = (
+    "run", "bound", "mac", "ax", "lint", "analyze", "report", "sweep",
+)
+#: Control kinds (answered by the frontend, never queued or cached).
+CONTROL_KINDS = ("ping", "healthz", "metrics", "drain")
+
+#: Severity order for lint requests (mirrors repro.analysis.Severity).
+_SEVERITIES = ("info", "warning", "error")
+
+#: Protocol error codes -> CLI exit codes (docs/robustness.md).
+ERROR_EXIT_CODES = {
+    "usage": 2,
+    "workload": 3,
+    "simulation": 4,
+    "budget": 4,
+    "infrastructure": 5,
+    "unavailable": 6,
+}
+
+
+def taxonomy_error_code(exc: ReproError) -> str:
+    """Map a taxonomy exception to a protocol error code."""
+    if isinstance(exc, (MachineError, BudgetExceededError)):
+        return "budget" if isinstance(exc, BudgetExceededError) \
+            else "simulation"
+    if isinstance(exc, (ExperimentError, StoreError)):
+        return "infrastructure"
+    return "workload"
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed requests (maps to the ``usage`` code)."""
+
+
+# ----------------------------------------------------------------------
+# Compiler-option / machine-config canonical forms
+# ----------------------------------------------------------------------
+
+
+def options_to_dict(options: CompilerOptions) -> dict:
+    """Non-default option fields as a plain JSON-able dict."""
+    changes: dict = {}
+    for f in dataclasses.fields(options):
+        value = getattr(options, f.name)
+        if value != getattr(DEFAULT_OPTIONS, f.name):
+            changes[f.name] = (
+                value.value if isinstance(value, ReductionStyle)
+                else value
+            )
+    return changes
+
+
+def options_from_dict(changes: dict) -> CompilerOptions:
+    """Rebuild :class:`CompilerOptions` from :func:`options_to_dict`."""
+    known = {f.name for f in dataclasses.fields(DEFAULT_OPTIONS)}
+    resolved: dict = {}
+    for name, value in changes.items():
+        if name not in known:
+            raise ProtocolError(
+                f"unknown compiler option {name!r}; known: "
+                f"{', '.join(sorted(known))}"
+            )
+        if isinstance(getattr(DEFAULT_OPTIONS, name), ReductionStyle):
+            value = ReductionStyle(value)
+        resolved[name] = value
+    return DEFAULT_OPTIONS.replace(**resolved)
+
+
+def resolve_options(params: dict) -> CompilerOptions:
+    """Resolve ``variant``/``options`` request params to options.
+
+    ``variant`` names one of the sweep engine's
+    :data:`~repro.sweep.spec.OPTION_VARIANTS`; ``options`` is a
+    ``"key=value,..."`` string (the CLI ``--options`` syntax).  The two
+    are mutually exclusive.
+    """
+    variant = params.get("variant")
+    text = params.get("options")
+    if variant is not None and text is not None:
+        raise ProtocolError(
+            "'variant' and 'options' are mutually exclusive"
+        )
+    if variant is not None:
+        resolved = OPTION_VARIANTS.get(str(variant))
+        if resolved is None:
+            raise ProtocolError(
+                f"unknown option variant {variant!r}; known: "
+                f"{', '.join(OPTION_VARIANTS)}"
+            )
+        return resolved
+    if text is not None:
+        from ..cli import _parse_options_string
+
+        try:
+            return _parse_options_string(str(text))
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from None
+    return DEFAULT_OPTIONS
+
+
+def resolve_config(params: dict):
+    """Machine config from ``no_fastpath``/``max_cycles`` params."""
+    config = DEFAULT_CONFIG
+    if params.get("no_fastpath"):
+        config = config.without_fastpath()
+    max_cycles = params.get("max_cycles")
+    if max_cycles is not None:
+        try:
+            config = config.with_cycle_budget(float(max_cycles))
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                f"max_cycles must be a positive number, got "
+                f"{max_cycles!r}"
+            ) from None
+    return config
+
+
+def config_payload(params: dict) -> dict:
+    """The canonical config-affecting params (for payloads/digests)."""
+    payload: dict = {}
+    if params.get("no_fastpath"):
+        payload["no_fastpath"] = True
+    if params.get("max_cycles") is not None:
+        payload["max_cycles"] = float(params["max_cycles"])
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Typed requests
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Request:
+    """One validated, canonicalized compute request.
+
+    ``payload`` is the small, picklable, JSON-able dict shipped to the
+    worker (:func:`repro.service.jobs.execute_request`); ``key`` is its
+    content digest.  Identical payloads always produce identical keys.
+    """
+
+    kind: str
+    key: str
+    payload: dict
+    deadline_s: float | None = None
+
+
+@dataclass
+class Response:
+    """One decoded response envelope (client side)."""
+
+    id: str
+    status: str
+    kind: str = ""
+    key: str = ""
+    origin: str = ""
+    elapsed_ms: float = 0.0
+    body: dict = field(default_factory=dict)
+    error: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def exit_code(self) -> int:
+        if self.ok:
+            return 0
+        return int(self.error.get("exit_code", 6))
+
+    def canonical_text(self) -> str:
+        """The deterministic serialization of the body (byte-stable)."""
+        return json.dumps(self.body, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-facing rendering (identical for any origin)."""
+        if self.ok:
+            return render_body(self.kind, self.body)
+        message = self.error.get("message", "request failed")
+        return f"error [{self.error.get('code', '?')}]: {message}"
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Response":
+        return cls(
+            id=str(data.get("id", "")),
+            status=str(data.get("status", "error")),
+            kind=str(data.get("kind", "")),
+            key=str(data.get("key", "")),
+            origin=str(data.get("origin", "")),
+            elapsed_ms=float(data.get("elapsed_ms", 0.0)),
+            body=dict(data.get("body") or {}),
+            error=dict(data.get("error") or {}),
+        )
+
+
+def _require_kernel(params: dict) -> str:
+    kernel = params.get("kernel")
+    if not kernel or not isinstance(kernel, str):
+        raise ProtocolError("request needs a 'kernel' (workload name)")
+    from ..workloads import workload
+
+    try:
+        workload(kernel)
+    except WorkloadError as exc:
+        raise ProtocolError(str(exc)) from None
+    return kernel.lower()
+
+
+def _problem_size(params: dict) -> int | None:
+    n = params.get("n")
+    if n is None:
+        return None
+    if not isinstance(n, int) or isinstance(n, bool) or n <= 0:
+        raise ProtocolError(
+            f"problem size 'n' must be a positive integer, got {n!r}"
+        )
+    return n
+
+
+def _inject_payload(params: dict) -> dict:
+    """Pass-through for the deterministic chaos hook (``_inject``).
+
+    The injection never participates in the content key — a request
+    that kills its worker and is retried must land on the same digest
+    as its healthy twin.
+    """
+    inject = params.get("_inject")
+    if inject is None:
+        return {}
+    if not isinstance(inject, dict) or \
+            inject.get("kind") not in ("raise", "exit", "hang"):
+        raise ProtocolError(
+            "_inject needs {'kind': raise|exit|hang, 'attempts': N}"
+        )
+    return {"_inject": {
+        "kind": inject["kind"],
+        "attempts": int(inject.get("attempts", 1)),
+    }}
+
+
+def canonicalize(kind: str, params: dict) -> Request:
+    """Validate and canonicalize one compute request.
+
+    Raises :class:`ProtocolError` (a ``usage`` error) on anything
+    malformed, *before* the request consumes queue or worker capacity.
+    """
+    if kind not in REQUEST_KINDS:
+        raise ProtocolError(
+            f"unknown request kind {kind!r}; compute kinds: "
+            f"{', '.join(REQUEST_KINDS)}; control kinds: "
+            f"{', '.join(CONTROL_KINDS)}"
+        )
+    if not isinstance(params, dict):
+        raise ProtocolError("'params' must be an object")
+    deadline_s = params.get("deadline_s")
+    if deadline_s is not None:
+        deadline_s = float(deadline_s)
+        if deadline_s <= 0:
+            raise ProtocolError(
+                f"deadline_s must be positive, got {deadline_s}"
+            )
+    inject = _inject_payload(params)
+
+    if kind in ("run", "bound", "mac"):
+        kernel = _require_kernel(params)
+        options = resolve_options(params)
+        config = resolve_config(params)
+        task = SweepTask(
+            workload=kernel, options=options, config=config,
+            n=_problem_size(params), mode=kind,
+        )
+        payload = {
+            "kind": kind,
+            "kernel": kernel,
+            "options": options_to_dict(options),
+            **config_payload(params),
+        }
+        if task.n is not None:
+            payload["n"] = task.n
+        return Request(kind=kind, key=task.key,
+                       payload={**payload, **inject},
+                       deadline_s=deadline_s)
+
+    if kind == "ax":
+        kernel = _require_kernel(params)
+        options = resolve_options(params)
+        payload = {
+            "kind": kind,
+            "kernel": kernel,
+            "options": options_to_dict(options),
+            **config_payload(params),
+        }
+        return Request(kind=kind, key=f"ax:{digest(payload)}",
+                       payload={**payload, **inject},
+                       deadline_s=deadline_s)
+
+    if kind == "lint":
+        kernel = _require_kernel(params)
+        minimum = str(params.get("min_severity", "info")).lower()
+        if minimum not in _SEVERITIES:
+            raise ProtocolError(
+                f"min_severity must be one of {_SEVERITIES}, "
+                f"got {minimum!r}"
+            )
+        payload = {"kind": kind, "kernel": kernel,
+                   "min_severity": minimum}
+        return Request(kind=kind, key=f"lint:{digest(payload)}",
+                       payload={**payload, **inject},
+                       deadline_s=deadline_s)
+
+    if kind == "analyze":
+        kernel = _require_kernel(params)
+        options = resolve_options(params)
+        payload = {
+            "kind": kind,
+            "kernel": kernel,
+            "options": options_to_dict(options),
+        }
+        return Request(kind=kind, key=f"analyze:{digest(payload)}",
+                       payload={**payload, **inject},
+                       deadline_s=deadline_s)
+
+    if kind == "report":
+        from ..experiments import EXPERIMENTS
+
+        names = params.get("experiments") or []
+        if not isinstance(names, list) or \
+                not all(isinstance(n, str) for n in names):
+            raise ProtocolError(
+                "'experiments' must be a list of experiment names"
+            )
+        for name in names:
+            if name not in EXPERIMENTS:
+                raise ProtocolError(
+                    f"unknown experiment {name!r}; known: "
+                    f"{', '.join(EXPERIMENTS)}"
+                )
+        payload = {"kind": kind, "experiments": sorted(names)}
+        return Request(kind=kind, key=f"report:{digest(payload)}",
+                       payload={**payload, **inject},
+                       deadline_s=deadline_s)
+
+    # kind == "sweep"
+    from ..workloads import workload, workload_names
+
+    kernels = params.get("kernels") or list(workload_names())
+    if not isinstance(kernels, list) or \
+            not all(isinstance(k, str) for k in kernels):
+        raise ProtocolError("'kernels' must be a list of workload names")
+    for name in kernels:
+        try:
+            workload(name)
+        except WorkloadError as exc:
+            raise ProtocolError(str(exc)) from None
+    variants = params.get("variants") or ["default"]
+    if not isinstance(variants, list):
+        raise ProtocolError("'variants' must be a list of variant names")
+    for name in variants:
+        if name not in OPTION_VARIANTS:
+            raise ProtocolError(
+                f"unknown option variant {name!r}; known: "
+                f"{', '.join(OPTION_VARIANTS)}"
+            )
+    payload = {
+        "kind": kind,
+        "kernels": [k.lower() for k in kernels],
+        "variants": list(variants),
+        **config_payload(params),
+    }
+    return Request(kind=kind, key=f"sweep:{digest(payload)}",
+                   payload={**payload, **inject},
+                   deadline_s=deadline_s)
+
+
+# ----------------------------------------------------------------------
+# Framing helpers and rendering
+# ----------------------------------------------------------------------
+
+
+def encode_line(obj: dict) -> bytes:
+    """One NDJSON frame (deterministic key order)."""
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(raw: bytes | str) -> dict:
+    """Decode one NDJSON frame; raises :class:`ProtocolError`."""
+    if isinstance(raw, bytes):
+        raw = raw.decode("utf-8", errors="replace")
+    try:
+        obj = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON frame: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+def error_response(request_id: str, kind: str, code: str,
+                   message: str, *, status: str = "error",
+                   retry_after_s: float | None = None,
+                   key: str = "") -> dict:
+    """A typed error/rejection envelope."""
+    error = {
+        "code": code,
+        "exit_code": ERROR_EXIT_CODES.get(code, 6),
+        "message": message,
+    }
+    if retry_after_s is not None:
+        error["retry_after_s"] = round(retry_after_s, 4)
+    return {"id": request_id, "status": status, "kind": kind,
+            "key": key, "error": error}
+
+
+def render_body(kind: str, body: dict) -> str:
+    """Deterministic human rendering of a response body.
+
+    Text-shaped results (analyze reports, sweep tables) print their
+    text; data-shaped results print canonical JSON.  Both server-side
+    and offline responses render through this one function, which is
+    what makes the two byte-comparable.
+    """
+    if kind == "analyze":
+        return body.get("report", "")
+    if kind == "sweep":
+        return body.get("table", "")
+    if kind == "report":
+        from ..experiments.report import render_payload
+
+        return render_payload(body)
+    return json.dumps(body, indent=2, sort_keys=True)

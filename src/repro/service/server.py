@@ -1,0 +1,589 @@
+"""The asyncio analysis server (``macs-repro serve``).
+
+Architecture::
+
+    clients ──NDJSON──▶ asyncio frontend ──▶ admission control
+                                           ──▶ result cache (durable)
+                                           ──▶ single-flight table
+                                           ──▶ WorkerPool (processes)
+
+The frontend owns everything non-deterministic — sockets, queueing,
+deadlines, metrics — while response *bodies* are produced by the
+deterministic worker entry point
+(:func:`repro.service.jobs.execute_request`), so a body is
+byte-identical whether it was computed, coalesced, cached, or produced
+offline by the client library.
+
+Operational behavior:
+
+* **admission control** — a bounded computation queue and per-client
+  in-flight limits; refusals are typed ``rejected`` responses with
+  ``retry_after_s`` (see :mod:`repro.service.admission`);
+* **single-flight** — concurrent identical requests (same content
+  digest) trigger exactly one worker job
+  (:mod:`repro.service.singleflight`);
+* **deadlines** — per-request ``deadline_s`` (or the server default)
+  bounds the wall clock via :class:`repro.resilience.watchdog.Deadline`
+  semantics; expiry is a typed ``budget`` error, and the underlying
+  computation still completes into the cache.  Per-request
+  ``max_cycles`` rides into the simulator's existing
+  ``MachineConfig.cycle_budget`` watchdog;
+* **graceful drain** — SIGTERM (or a ``drain`` request) stops the
+  listeners, lets every in-flight request finish and respond, shuts
+  the pool down, and exits cleanly;
+* **fault sites** — ``service.accept`` (a connection dropped at
+  accept) and ``service.cache_write`` (durable cache append failure)
+  are chaos-injectable; worker crashes are retried by the pool's
+  :class:`~repro.resilience.retry.RetryPolicy` without the client ever
+  seeing an error.
+
+Fork hygiene: worker processes are forked from the serving process, so
+every listening socket is registered and **closed in the child** at
+fork (a worker must never hold the server's accept socket open), and
+the armed chaos plan / telemetry / memo caches are already dropped by
+the PR-3/PR-4 fork hooks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import socket
+import threading
+import time
+import weakref
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from ..resilience import faults as _faults
+from ..resilience.retry import RetryPolicy
+from ..sweep.pool import WorkerPool
+from .admission import AdmissionController
+from .cache import ResultCache
+from .jobs import execute_request
+from .metrics import ServiceMetrics
+from .protocol import (
+    CONTROL_KINDS,
+    ProtocolError,
+    Request,
+    canonicalize,
+    decode_line,
+    encode_line,
+    error_response,
+)
+from .singleflight import SingleFlight
+
+#: Live servers, so fork hooks can close inherited listen sockets.
+_LIVE_SERVERS: "weakref.WeakSet[AnalysisServer]" = weakref.WeakSet()
+
+
+def _close_server_sockets_in_children() -> None:
+    """A forked worker must never inherit an open server socket.
+
+    That covers the listeners *and* every accepted connection: a
+    worker holding a copy of a connection's file description would
+    keep the connection half-open — the peer's ``close()`` stops
+    producing an EOF, so the server never notices the hangup.
+    """
+    for server in list(_LIVE_SERVERS):
+        server._close_raw_sockets()
+
+
+os.register_at_fork(after_in_child=_close_server_sockets_in_children)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operator-facing server configuration."""
+
+    #: UNIX socket path (preferred for local use) and/or TCP endpoint.
+    socket_path: str | None = None
+    host: str | None = None
+    port: int = 0  # 0 = ephemeral (reported on stdout)
+    workers: int = 1
+    queue_limit: int = 64
+    client_limit: int = 8
+    #: durable result-cache log (None = memory-only)
+    cache_path: str | None = None
+    cache_max: int = 512
+    #: default per-request wall-clock budget (None = unbounded)
+    default_deadline_s: float | None = None
+    #: per-attempt hang ceiling for worker jobs (None = unbounded)
+    job_timeout_s: float | None = None
+    #: crash/hang retry budget for worker jobs
+    retries: int = 2
+
+    def __post_init__(self):
+        if self.socket_path is None and self.host is None:
+            raise ExperimentError(
+                "serve needs a --socket path or a --host/--port "
+                "TCP endpoint"
+            )
+
+
+class AnalysisServer:
+    """One serving process: frontend + cache + pool."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.metrics = ServiceMetrics()
+        self.cache = ResultCache(
+            max_entries=config.cache_max, path=config.cache_path
+        )
+        self.admission = AdmissionController(
+            queue_limit=config.queue_limit,
+            client_limit=config.client_limit,
+        )
+        self.singleflight = SingleFlight()
+        self.pool = WorkerPool(
+            workers=config.workers,
+            retry=RetryPolicy(retries=config.retries),
+            name="service",
+        )
+        self.draining = False
+        self.endpoints: list[str] = []
+        self._servers: list[asyncio.AbstractServer] = []
+        self._raw_sockets: list[socket.socket] = []
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_fds: set[int] = set()
+        self._conn_counter = 0
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._flights: set[asyncio.Task] = set()
+        self._auto_id = 0
+        self._active = 0
+        self._drained: asyncio.Event | None = None
+        _LIVE_SERVERS.add(self)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        self._drained = asyncio.Event()
+        if self.config.socket_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle_client, path=self.config.socket_path
+            )
+            self._servers.append(server)
+            self.endpoints.append(f"unix:{self.config.socket_path}")
+        if self.config.host is not None:
+            server = await asyncio.start_server(
+                self._handle_client, host=self.config.host,
+                port=self.config.port,
+            )
+            self._servers.append(server)
+            for sock in server.sockets:
+                host, port = sock.getsockname()[:2]
+                self.endpoints.append(f"tcp:{host}:{port}")
+        for server in self._servers:
+            self._raw_sockets.extend(server.sockets)
+
+    def _close_raw_sockets(self) -> None:
+        # asyncio hands out TransportSocket wrappers without close();
+        # closing the file descriptor works in parent and child alike.
+        fds = set(self._conn_fds)
+        for sock in self._raw_sockets:
+            try:
+                fds.add(sock.fileno())
+            except (OSError, ValueError):
+                pass
+        for fd in fds:
+            if fd < 0:
+                continue
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (signal handler / drain request)."""
+        if self.draining:
+            return
+        self.draining = True
+        for server in self._servers:
+            server.close()
+        self._maybe_set_drained()
+
+    def _maybe_set_drained(self) -> None:
+        # Drained = draining requested, no request in flight, and every
+        # client has disconnected — connected clients may still replay
+        # cache hits (and collect refusals) until they hang up.
+        if self.draining and self._active == 0 \
+                and not self._writers and self._drained is not None:
+            self._drained.set()
+
+    async def wait_drained(self) -> None:
+        """Block until drained, then release every resource."""
+        await self._drained.wait()
+        for server in self._servers:
+            server.close()
+            try:
+                await server.wait_closed()
+            except Exception:
+                pass
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        # Let connection handlers observe EOF and exit before the loop
+        # closes, so shutdown never cancels them mid-read.
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=2.0)
+        # Deadline-orphaned flights may still be computing into the
+        # cache; give them a bounded grace, then kill any worker still
+        # hung — waiting for a hung job would block for its runtime.
+        pending = [task for task in self._flights if not task.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=5.0)
+        stragglers = any(not task.done() for task in self._flights)
+        self.pool.shutdown(kill=stragglers)
+        self.cache.close()
+        if self.config.socket_path is not None:
+            try:
+                os.unlink(self.config.socket_path)
+            except OSError:
+                pass
+
+    async def drain(self) -> None:
+        self.request_drain()
+        await self.wait_drained()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        spec = _faults.check("service.accept")
+        if spec is not None and spec.kind == "io-error":
+            # An accept-path fault: this connection is dropped, the
+            # server keeps serving the next one.
+            self.metrics.count("accept_faults")
+            writer.close()
+            return
+        self._conn_counter += 1
+        client_id = f"client-{self._conn_counter}"
+        self.metrics.count("connections")
+        self._writers.add(writer)
+        conn_fd = -1
+        conn_sock = writer.get_extra_info("socket")
+        if conn_sock is not None:
+            try:
+                conn_fd = conn_sock.fileno()
+            except (OSError, ValueError):
+                conn_fd = -1
+        if conn_fd >= 0:
+            self._conn_fds.add(conn_fd)
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._serve_line(line, client_id, writer,
+                                     write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            self._conn_fds.discard(conn_fd)
+            if conn_task is not None:
+                self._conn_tasks.discard(conn_task)
+            writer.close()
+            self._maybe_set_drained()
+
+    async def _write(self, writer: asyncio.StreamWriter,
+                     lock: asyncio.Lock, envelope: dict) -> None:
+        async with lock:
+            try:
+                writer.write(encode_line(envelope))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass  # client went away; the result is cached anyway
+
+    async def _serve_line(self, line: bytes, client_id: str,
+                          writer: asyncio.StreamWriter,
+                          lock: asyncio.Lock) -> None:
+        request_id = ""
+        kind = ""
+        try:
+            frame = decode_line(line)
+            request_id = str(frame.get("id") or self._next_id())
+            kind = str(frame.get("kind", ""))
+            if kind in CONTROL_KINDS:
+                envelope = self._control(request_id, kind)
+            else:
+                request = canonicalize(
+                    kind, dict(frame.get("params") or {})
+                )
+                deadline_s = frame.get("deadline_s")
+                if deadline_s is not None:
+                    request = Request(
+                        kind=request.kind, key=request.key,
+                        payload=request.payload,
+                        deadline_s=float(deadline_s),
+                    )
+                envelope = await self._dispatch(request, client_id,
+                                                request_id)
+        except ProtocolError as exc:
+            self.metrics.count("errors")
+            envelope = error_response(request_id, kind, "usage",
+                                      str(exc))
+        except Exception as exc:  # pragma: no cover - safety net
+            # A request must always get *a* response; a frontend bug
+            # must not strand the client waiting forever.
+            self.metrics.count("errors")
+            envelope = error_response(request_id, kind,
+                                      "infrastructure", str(exc))
+        await self._write(writer, lock, envelope)
+
+    def _next_id(self) -> str:
+        self._auto_id += 1
+        return f"auto-{self._auto_id}"
+
+    # -- control requests ----------------------------------------------
+
+    def _control(self, request_id: str, kind: str) -> dict:
+        self.metrics.count(f"requests:{kind}")
+        if kind == "ping":
+            body = {"pong": True}
+        elif kind == "healthz":
+            body = {
+                "status": "draining" if self.draining else "ok",
+                "uptime_s": round(self.metrics.uptime_s, 3),
+                "workers": self.config.workers,
+                "queue_depth": self.admission.queue_depth,
+                "in_flight": self._active,
+                "cache_entries": len(self.cache),
+            }
+        elif kind == "metrics":
+            body = self.metrics.snapshot(
+                queue_depth=self.admission.queue_depth,
+                in_flight=self._active,
+                cache_stats=self.cache.stats(),
+                workers=self.config.workers,
+                worker_restarts=self.pool.restarts,
+                draining=self.draining,
+            )
+        else:  # drain
+            body = {"draining": True}
+            asyncio.get_running_loop().call_soon(self.request_drain)
+        return {"id": request_id, "status": "ok", "kind": kind,
+                "key": "", "origin": "server", "body": body}
+
+    # -- compute requests ----------------------------------------------
+
+    async def _dispatch(self, request: Request, client_id: str,
+                        request_id: str) -> dict:
+        t0 = time.perf_counter()
+        self.metrics.count(f"requests:{request.kind}")
+
+        def envelope_ok(body: dict, origin: str) -> dict:
+            elapsed = 1e3 * (time.perf_counter() - t0)
+            self.metrics.observe(request.kind, elapsed)
+            return {
+                "id": request_id, "status": "ok",
+                "kind": request.kind, "key": request.key,
+                "origin": origin, "elapsed_ms": round(elapsed, 3),
+                "body": body,
+            }
+
+        # Warm cache: answered without admission, queue, or pool.
+        body = self.cache.get(request.key)
+        if body is not None:
+            self.metrics.count("cache_hits")
+            return envelope_ok(body, "cache")
+
+        if self.draining:
+            self.metrics.count("rejections")
+            return error_response(
+                request_id, request.kind, "unavailable",
+                "server is draining; no new computations accepted",
+                status="rejected", key=request.key,
+            )
+
+        leader = self.singleflight.leader(request.key)
+        rejection = self.admission.admit(client_id, leader)
+        if rejection is not None:
+            self.metrics.count("rejections")
+            return error_response(
+                request_id, request.kind, "busy", rejection.reason,
+                status="rejected",
+                retry_after_s=rejection.retry_after_s,
+                key=request.key,
+            )
+
+        self._active += 1
+        try:
+            if leader:
+                flight = self.singleflight.begin(request.key)
+                flight_task = asyncio.create_task(
+                    self._compute_flight(request, request.key)
+                )
+                self._flights.add(flight_task)
+                flight_task.add_done_callback(self._flights.discard)
+                origin = "computed"
+            else:
+                flight = self.singleflight.join(request.key)
+                self.metrics.count("coalesced")
+                origin = "coalesced"
+            deadline_s = (
+                request.deadline_s
+                if request.deadline_s is not None
+                else self.config.default_deadline_s
+            )
+            try:
+                if deadline_s is None:
+                    payload = await asyncio.shield(flight)
+                else:
+                    payload = await asyncio.wait_for(
+                        asyncio.shield(flight), timeout=deadline_s
+                    )
+            except asyncio.TimeoutError:
+                self.metrics.count("deadline_expirations")
+                return error_response(
+                    request_id, request.kind, "budget",
+                    f"request deadline ({deadline_s:g}s) exceeded; "
+                    "the computation continues and will be cached",
+                    key=request.key,
+                )
+            except Exception as exc:
+                # ExperimentError: pool retries exhausted.  Anything
+                # else is an unexpected worker exception (e.g. an
+                # injected deterministic raise) — also infrastructure,
+                # and never silently dropped.
+                self.metrics.count("errors")
+                return error_response(
+                    request_id, request.kind, "infrastructure",
+                    str(exc), key=request.key,
+                )
+            if payload["status"] == "ok":
+                return envelope_ok(payload["body"], origin)
+            self.metrics.count("errors")
+            error = dict(payload["error"])
+            return {
+                "id": request_id, "status": "error",
+                "kind": request.kind, "key": request.key,
+                "error": error,
+            }
+        finally:
+            self._active -= 1
+            self.admission.release(client_id, leader)
+            self._maybe_set_drained()
+
+    async def _compute_flight(self, request: Request,
+                              key: str) -> None:
+        """Leader-side computation: one pool job per content key."""
+        try:
+            payload = await asyncio.to_thread(
+                self.pool.run, execute_request, request.payload,
+                key=key, timeout=self.config.job_timeout_s,
+            )
+        except BaseException as exc:
+            self.singleflight.finish(key, error=exc)
+            return
+        if payload["status"] == "ok":
+            self.metrics.count("computed")
+            self.cache.put(key, request.kind, payload["body"])
+        self.singleflight.finish(key, result=payload)
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+async def _amain(config: ServiceConfig, *,
+                 ready=None, install_signals: bool = True,
+                 announce=None) -> None:
+    server = AnalysisServer(config)
+    await server.start()
+    if install_signals:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                break  # non-main thread / unsupported platform
+    if announce is not None:
+        announce(server)
+    if ready is not None:
+        ready(server)
+    await server.wait_drained()
+
+
+def serve(config: ServiceConfig, announce=None) -> int:
+    """Run the server until SIGTERM/SIGINT drains it; returns 0."""
+    asyncio.run(
+        _amain(config, announce=announce, install_signals=True)
+    )
+    return 0
+
+
+class ServerThread:
+    """A server running on a background thread (tests, benchmarks)."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.server: AnalysisServer | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self.thread = threading.Thread(
+            target=self._run, name="macs-service", daemon=True
+        )
+
+    def _run(self) -> None:
+        def ready(server: AnalysisServer) -> None:
+            self.server = server
+            self.loop = asyncio.get_running_loop()
+            self._ready.set()
+
+        try:
+            asyncio.run(
+                _amain(self.config, ready=ready,
+                       install_signals=False)
+            )
+        except BaseException as exc:  # surfaced by start()/stop()
+            self._error = exc
+            self._ready.set()
+
+    def start(self) -> "ServerThread":
+        self.thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._error is not None:
+            raise ExperimentError(
+                f"service failed to start: {self._error}"
+            ) from self._error
+        if self.server is None:
+            raise ExperimentError("service failed to start (timeout)")
+        return self
+
+    @property
+    def endpoints(self) -> list[str]:
+        return list(self.server.endpoints) if self.server else []
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self.loop is not None and self.server is not None:
+            try:
+                self.loop.call_soon_threadsafe(
+                    self.server.request_drain
+                )
+            except RuntimeError:
+                pass  # loop already closed
+        self.thread.join(timeout=timeout)
+
+
+def start_in_thread(config: ServiceConfig) -> ServerThread:
+    """Start a server on a daemon thread and wait until it listens."""
+    return ServerThread(config).start()

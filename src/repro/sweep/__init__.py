@@ -12,6 +12,8 @@ Public surface:
   JSONL traces, and :func:`summarize_trace`;
 * :class:`Checkpoint` — resume support
   (:mod:`~repro.sweep.checkpoint`);
+* :class:`WorkerPool` — a persistent, supervised process pool for
+  long-running services (:mod:`~repro.sweep.pool`);
 * :func:`set_sweep_defaults` / :func:`grid_outcomes` — process-wide
   defaults the experiments honor (:mod:`~repro.sweep.api`).
 
@@ -33,6 +35,7 @@ _EXPORTS = {
     "SweepResult": "scheduler",
     "TaskOutcome": "scheduler",
     "Checkpoint": "checkpoint",
+    "WorkerPool": "pool",
     "Telemetry": "telemetry",
     "summarize_trace": "telemetry",
     "read_trace": "telemetry",

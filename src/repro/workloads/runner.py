@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import sys
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -50,6 +51,11 @@ def clear_caches() -> None:
     ax._AX_CACHE.clear()
     clear_analysis_cache()
     telemetry.reset()
+    # The analysis service's result caches participate too, but only
+    # when the service module was ever imported (keep cold starts cold).
+    service_cache = sys.modules.get("repro.service.cache")
+    if service_cache is not None:
+        service_cache.clear_service_caches()
 
 
 # The memo tables must not leak across forked workers: a child that

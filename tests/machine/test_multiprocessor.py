@@ -2,14 +2,18 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import MachineError
 from repro.isa import parse_program
 from repro.machine import (
+    DEFAULT_CONFIG,
     WorkloadMix,
     contention_factor_for_load,
     run_under_contention,
 )
+from repro.machine.simulator import run_program
 
 MEMORY_LOOP = """
 .data   a, 512
@@ -80,3 +84,99 @@ class TestContentionRuns:
             initial_data={"a": np.ones(512)},
         )
         assert 3.0 < comparison.degradation_percent < 15.0
+
+
+class TestCpuScaling:
+    """Contention under 1, 2, and 4 busy neighbour CPUs.
+
+    ``load_average`` counts the other CPUs' runnable processes: below
+    the 4-CPU saturation point the memory stretch interpolates
+    linearly; at and beyond it, the ports are saturated.
+    """
+
+    def test_factor_interpolates_at_1_2_4_cpus(self):
+        mix = WorkloadMix.DIFFERENT_PROGRAMS
+        # 60 ns saturated access vs 40 ns peak -> +5 ns per busy CPU.
+        assert contention_factor_for_load(mix, 1.0) == \
+            pytest.approx(45.0 / 40.0)
+        assert contention_factor_for_load(mix, 2.0) == \
+            pytest.approx(50.0 / 40.0)
+        assert contention_factor_for_load(mix, 4.0) == \
+            pytest.approx(60.0 / 40.0)
+
+    def test_factor_saturates_beyond_4_cpus(self):
+        mix = WorkloadMix.DIFFERENT_PROGRAMS
+        saturated = contention_factor_for_load(mix, 4.0)
+        assert contention_factor_for_load(mix, 8.0) == saturated
+        assert contention_factor_for_load(mix, 100.0) == saturated
+
+    def test_degradation_grows_with_busy_cpus(self):
+        program = parse_program(MEMORY_LOOP)
+        data = {"a": np.ones(512)}
+        degradations = [
+            run_under_contention(
+                program, load_average=load, initial_data=data
+            ).degradation_percent
+            for load in (1.0, 2.0, 4.0)
+        ]
+        assert degradations[0] < degradations[1] < degradations[2]
+        # Each loaded run is slower than idle, and even one busy CPU
+        # shows measurable contention on a memory-bound loop.
+        assert degradations[0] > 1.0
+
+    def test_lockstep_beats_unrelated_programs_at_full_load(self):
+        program = parse_program(MEMORY_LOOP)
+        data = {"a": np.ones(512)}
+        lockstep = run_under_contention(
+            program, mix=WorkloadMix.SAME_EXECUTABLE,
+            initial_data=data,
+        )
+        unrelated = run_under_contention(
+            program, mix=WorkloadMix.DIFFERENT_PROGRAMS,
+            initial_data=data,
+        )
+        assert lockstep.degradation_percent < \
+            unrelated.degradation_percent
+
+
+class TestSingleCpuMatchesPlainSimulator:
+    """Property: the contention model's baseline (and the IDLE mix at
+    any load) is exactly the plain simulator — the multiprocessor
+    layer must be a pure multiplier, never a second code path."""
+
+    @given(load=st.floats(min_value=0.0, max_value=16.0,
+                          allow_nan=False))
+    @settings(max_examples=12, deadline=None)
+    def test_idle_mix_matches_plain_run_at_any_load(self, load):
+        program = parse_program(MEMORY_LOOP)
+        data = {"a": np.ones(512)}
+        plain = run_program(program, DEFAULT_CONFIG,
+                            initial_data=data)
+        comparison = run_under_contention(
+            program, mix=WorkloadMix.IDLE, load_average=load,
+            initial_data=data,
+        )
+        assert comparison.single.cycles == plain.cycles
+        assert comparison.loaded.cycles == plain.cycles
+        assert comparison.single.instructions_executed == \
+            plain.instructions_executed
+        assert comparison.single.flops == plain.flops
+        assert comparison.degradation_percent == pytest.approx(0.0)
+
+    @given(
+        mix=st.sampled_from(list(WorkloadMix)),
+        load=st.floats(min_value=0.0, max_value=16.0,
+                       allow_nan=False),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_baseline_leg_never_sees_contention(self, mix, load):
+        program = parse_program(MEMORY_LOOP)
+        data = {"a": np.ones(512)}
+        plain = run_program(program, DEFAULT_CONFIG,
+                            initial_data=data)
+        comparison = run_under_contention(
+            program, mix=mix, load_average=load, initial_data=data,
+        )
+        assert comparison.single.cycles == plain.cycles
+        # And the loaded leg is never *faster* than the idle machine.
+        assert comparison.loaded.cycles >= comparison.single.cycles

@@ -174,3 +174,27 @@ class TestFaultPoints:
                 atomic_write_text(str(path), "new contents")
         assert path.read_text() == "old"
         assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+class TestForkDisarm:
+    def test_forked_child_inherits_no_armed_plan(self):
+        """Forked workers must start with chaos disarmed: a plan armed
+        in a serving parent would otherwise fire inside every worker
+        and every injected fault would double."""
+        import os
+
+        plan = FaultPlan(faults=(
+            FaultSpec(site="service.accept", kind="io-error"),
+        ))
+        with chaos(plan):
+            pid = os.fork()
+            if pid == 0:
+                os._exit(
+                    0 if faults.check("service.accept") is None
+                    else 1
+                )
+            _, wait_status = os.waitpid(pid, 0)
+            assert os.WIFEXITED(wait_status)
+            assert os.WEXITSTATUS(wait_status) == 0
+            # The parent's plan is still armed after the fork.
+            assert faults.check("service.accept") is not None

@@ -1,0 +1,127 @@
+"""Chaos tests for the analysis service.
+
+The service must hide infrastructure failure from clients: a killed
+worker is retried under the pool's RetryPolicy, a dropped connection
+only affects that connection, and a failing durable-cache write
+degrades durability without failing the request.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.resilience import faults
+from repro.service import ServiceConfig, start_in_thread
+from repro.service.client import ServiceClient
+
+
+@pytest.fixture()
+def server(tmp_path):
+    thread = start_in_thread(
+        ServiceConfig(
+            socket_path=str(tmp_path / "chaos.sock"),
+            workers=1,
+            cache_path=str(tmp_path / "cache.log"),
+            retries=2,
+        )
+    )
+    yield thread
+    thread.stop()
+
+
+class TestWorkerCrashes:
+    def test_killed_worker_is_retried_invisibly(self, server):
+        """A worker killed mid-request must never surface to the
+        client: the pool rebuilds, the job retries, the response is
+        the same bytes a healthy run produces."""
+        with ServiceClient(server.endpoints[0], timeout=60.0) as client:
+            healthy = client.request("bound", {"kernel": "lfk6"})
+            poisoned = client.request(
+                "run",
+                {"kernel": "lfk6",
+                 "_inject": {"kind": "exit", "attempts": 1}},
+            )
+            assert poisoned.ok
+            assert poisoned.origin == "computed"
+            metrics = client.metrics()
+            assert metrics["worker_restarts"] >= 1
+            # Same content key as the healthy twin -> later identical
+            # requests are cache hits even though the first attempt
+            # died.
+            again = client.request("run", {"kernel": "lfk6"})
+            assert again.ok and again.origin == "cache"
+            assert again.canonical_text() == poisoned.canonical_text()
+            assert healthy.ok
+
+    def test_exhausted_retries_surface_as_infrastructure(self, server):
+        with ServiceClient(server.endpoints[0], timeout=60.0) as client:
+            response = client.request(
+                "bound",
+                {"kernel": "lfk8",
+                 "_inject": {"kind": "exit", "attempts": 10}},
+            )
+            assert response.status == "error"
+            assert response.error["code"] == "infrastructure"
+            assert response.exit_code == 5
+            # The server survives and keeps answering.
+            assert client.ping()
+            healthy = client.request("bound", {"kernel": "lfk8"})
+            assert healthy.ok
+
+    def test_deterministic_raise_is_not_retried(self, server):
+        """A job that raises (rather than dying) fails the same way
+        every time; the pool must not burn retries on it."""
+        with ServiceClient(server.endpoints[0], timeout=60.0) as client:
+            before = server.server.pool.jobs_submitted
+            response = client.request(
+                "bound",
+                {"kernel": "lfk1", "n": 64,
+                 "_inject": {"kind": "raise", "attempts": 10}},
+            )
+            assert response.status == "error"
+            assert server.server.pool.jobs_submitted == before + 1
+
+
+class TestConnectionFaults:
+    def test_accept_fault_drops_one_connection_only(self, server):
+        plan = faults.FaultPlan.from_dict(
+            {"faults": [
+                {"site": "service.accept", "kind": "io-error",
+                 "count": 1},
+            ]}
+        )
+        with faults.chaos(plan):
+            doomed = ServiceClient(server.endpoints[0], timeout=5.0)
+            with pytest.raises(ExperimentError):
+                doomed.connect()
+                doomed.request("ping")
+            doomed.close()
+            # The very next connection is served normally.
+            with ServiceClient(server.endpoints[0]) as client:
+                assert client.ping()
+            # fired() reports on the armed plan, so look before the
+            # chaos block ends.
+            assert any(
+                f["site"] == "service.accept" for f in faults.fired()
+            )
+
+
+class TestCacheWriteFaults:
+    def test_cache_write_fault_degrades_but_request_succeeds(
+        self, server
+    ):
+        plan = faults.FaultPlan.from_dict(
+            {"faults": [
+                {"site": "service.cache_write", "kind": "io-error"},
+            ]}
+        )
+        with faults.chaos(plan):
+            with ServiceClient(server.endpoints[0],
+                               timeout=60.0) as client:
+                response = client.request("mac", {"kernel": "lfk10"})
+                assert response.ok
+                metrics = client.metrics()
+                assert metrics["cache"]["degraded"] is not None
+                assert not metrics["cache"]["durable"]
+                # The in-memory cache still serves the result.
+                again = client.request("mac", {"kernel": "lfk10"})
+                assert again.ok and again.origin == "cache"

@@ -1,0 +1,64 @@
+"""Service metrics unit tests: quantiles and snapshots."""
+
+import pytest
+
+from repro.service.metrics import ServiceMetrics, quantile
+
+
+class TestQuantile:
+    def test_empty_and_singleton(self):
+        assert quantile([], 0.5) == 0.0
+        assert quantile([7.0], 0.95) == 7.0
+
+    def test_median_interpolates(self):
+        assert quantile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [float(i) for i in range(10)]
+        assert quantile(values, 0.0) == 0.0
+        assert quantile(values, 1.0) == 9.0
+
+    def test_p95_in_range(self):
+        values = [float(i) for i in range(100)]
+        assert 90.0 <= quantile(values, 0.95) <= 99.0
+
+
+class TestServiceMetrics:
+    def test_latency_summary_per_kind(self):
+        metrics = ServiceMetrics()
+        for ms in (1.0, 2.0, 3.0):
+            metrics.observe("bound", ms)
+        metrics.observe("sweep", 50.0)
+        summary = metrics.latency_summary()
+        assert summary["bound"]["count"] == 3
+        assert summary["bound"]["p50_ms"] == pytest.approx(2.0)
+        assert summary["bound"]["max_ms"] == pytest.approx(3.0)
+        assert summary["sweep"]["p95_ms"] == pytest.approx(50.0)
+
+    def test_reservoir_is_bounded(self):
+        metrics = ServiceMetrics(reservoir=16)
+        for i in range(100):
+            metrics.observe("bound", float(i))
+        assert metrics.latency_summary()["bound"]["count"] == 16
+
+    def test_snapshot_shape(self):
+        metrics = ServiceMetrics()
+        metrics.count("requests:bound", 3)
+        metrics.count("computed")
+        metrics.count("coalesced", 2)
+        metrics.count("cache_hits")
+        snapshot = metrics.snapshot(
+            queue_depth=1, in_flight=2,
+            cache_stats={"entries": 4}, workers=2,
+            worker_restarts=1, draining=False,
+        )
+        assert snapshot["requests"] == {"bound": 3}
+        assert snapshot["computed"] == 1
+        assert snapshot["coalesced"] == 2
+        assert snapshot["cache_hits"] == 1
+        assert snapshot["queue_depth"] == 1
+        assert snapshot["in_flight"] == 2
+        assert snapshot["workers"] == 2
+        assert snapshot["worker_restarts"] == 1
+        assert snapshot["cache"]["entries"] == 4
+        assert "latency_ms" in snapshot

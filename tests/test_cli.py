@@ -232,3 +232,92 @@ class TestLintCommand:
         assert main(["experiment", "static-summary"]) == 0
         out = capsys.readouterr().out
         assert "yes" in out and "DIVERGE" not in out
+
+
+class TestRequestCommand:
+    def test_offline_bound_request(self, capsys):
+        assert main(
+            ["request", "bound", "--kernel", "lfk1", "--offline"]
+        ) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["kernel"] == "lfk1"
+        assert payload["metrics"]["cpl"] > 0
+
+    def test_offline_json_envelope(self, capsys):
+        assert main(
+            ["request", "bound", "--kernel", "lfk1", "--offline",
+             "--json"]
+        ) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["status"] == "ok"
+        assert envelope["origin"] == "offline"
+        assert envelope["key"].startswith("lfk1:bound:")
+
+    def test_offline_analyze_matches_analyze_command(self, capsys):
+        assert main(["analyze", "lfk1"]) == 0
+        direct = capsys.readouterr().out
+        assert main(
+            ["request", "analyze", "--kernel", "lfk1", "--offline"]
+        ) == 0
+        served = capsys.readouterr().out
+        assert served == direct
+
+    def test_params_json_merges_with_shorthand(self, capsys):
+        assert main(
+            ["request", "lint", "--offline",
+             "--params", '{"min_severity": "error"}',
+             "--kernel", "lfk1"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+
+    def test_unknown_kind_is_usage_error(self, capsys):
+        assert main(
+            ["request", "bogus", "--kernel", "lfk1", "--offline"]
+        ) == 2
+        assert "unknown request kind" in capsys.readouterr().err
+
+    def test_unknown_kernel_is_usage_error(self, capsys):
+        assert main(
+            ["request", "bound", "--kernel", "nope", "--offline"]
+        ) == 2
+
+    def test_bad_params_json_is_usage_error(self, capsys):
+        assert main(
+            ["request", "bound", "--params", "{nope", "--offline"]
+        ) == 2
+        assert "valid JSON" in capsys.readouterr().err
+
+    def test_missing_endpoint_is_usage_error(self, capsys):
+        assert main(["request", "bound", "--kernel", "lfk1"]) == 2
+        assert "--endpoint" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_6(self, capsys, tmp_path):
+        assert main(
+            ["request", "bound", "--kernel", "lfk1",
+             "--endpoint", f"unix:{tmp_path}/absent.sock"]
+        ) == 6
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_server_round_trip_matches_offline(self, capsys, tmp_path):
+        from repro.service import ServiceConfig, start_in_thread
+
+        thread = start_in_thread(
+            ServiceConfig(socket_path=str(tmp_path / "cli.sock"),
+                          workers=1)
+        )
+        try:
+            endpoint = thread.endpoints[0]
+            assert main(
+                ["request", "mac", "--kernel", "lfk2",
+                 "--endpoint", endpoint]
+            ) == 0
+            served = capsys.readouterr().out
+            assert main(
+                ["request", "mac", "--kernel", "lfk2", "--offline"]
+            ) == 0
+            offline = capsys.readouterr().out
+            assert served == offline
+        finally:
+            thread.stop()

@@ -33,6 +33,16 @@ class TestClearCaches:
         clear_caches()
         assert telemetry.current() is None
 
+    def test_clears_the_service_result_cache_too(self):
+        from repro.service.cache import ResultCache
+
+        cache = ResultCache(max_entries=4)
+        cache.put("key", "bound", {"v": 1})
+        warm_caches()
+        clear_caches()
+        assert len(cache) == 0
+        assert not runner._COMPILE_CACHE
+
     def test_reset_does_not_close_inherited_trace_handle(self, tmp_path):
         # reset() must detach the durable log's handle without closing
         # it: after a fork the child shares the parent's file
