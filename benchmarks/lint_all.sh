@@ -23,7 +23,7 @@ fi
 
 if command -v mypy >/dev/null 2>&1; then
     echo "== mypy =="
-    mypy src/repro/analysis
+    mypy src/repro/analysis src/repro/model
 else
     echo "== mypy: not installed, skipping =="
 fi

@@ -1,0 +1,83 @@
+"""Static fast tier vs the simulated path: the latency headline.
+
+The acceptance claim for the static tier: on a warm process, an
+``advise`` answer (memoized abstract-interpretation prediction) is at
+least **100x** faster than the simulated ``bound``/``run`` path for
+the same kernel.  Both sides go through the identical worker entry
+point (:func:`repro.service.jobs.execute_request`), so the comparison
+is request-to-request, not function-to-function.
+"""
+
+import time
+
+from repro.service.jobs import execute_request
+from repro.service.protocol import canonicalize
+from repro.workloads import clear_caches
+
+KERNEL = "lfk7"
+REQUIRED_SPEEDUP = 100.0
+
+
+def test_bench_static_advise_vs_simulated_bound(benchmark):
+    advise_payload = canonicalize(
+        "advise", {"kernel": KERNEL}
+    ).payload
+    bound_payload = canonicalize(
+        "bound", {"kernel": KERNEL}
+    ).payload
+
+    # Warm the process: compile + first static prediction.
+    first = execute_request(advise_payload)
+    assert first["status"] == "ok"
+    assert first["body"]["tier"] == "exact"
+
+    # Warm static-tier latency, averaged over many calls.
+    iterations = 200
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        result = execute_request(advise_payload)
+    advise_s = (time.perf_counter() - t0) / iterations
+    assert result["status"] == "ok"
+
+    # The simulated path, cold each round (the service's worker does
+    # the same work for an uncached bound/run request).
+    rounds = 3
+    simulated_total = 0.0
+    for _ in range(rounds):
+        clear_caches()
+        t0 = time.perf_counter()
+        result = execute_request(bound_payload)
+        simulated_total += time.perf_counter() - t0
+    assert result["status"] == "ok"
+    simulated_s = simulated_total / rounds
+
+    speedup = simulated_s / advise_s
+    benchmark.extra_info["advise_us"] = round(advise_s * 1e6, 1)
+    benchmark.extra_info["simulated_ms"] = round(simulated_s * 1e3, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 1)
+
+    # Record the warm static answer as the benchmarked operation.
+    benchmark.pedantic(
+        lambda: execute_request(advise_payload),
+        rounds=10, iterations=10,
+    )
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"static advise ({advise_s * 1e6:.0f} us) must be at least "
+        f"{REQUIRED_SPEEDUP:.0f}x faster than the simulated bound "
+        f"path ({simulated_s * 1e3:.2f} ms); got {speedup:.1f}x"
+    )
+
+
+def test_bench_static_cold_prediction(benchmark):
+    """Cold-path cost: compile + abstract interpretation, no memo."""
+
+    def cold():
+        clear_caches()
+        return execute_request(
+            canonicalize("advise", {"kernel": KERNEL}).payload
+        )
+
+    result = benchmark.pedantic(cold, rounds=3, iterations=1)
+    assert result["status"] == "ok"
+    assert result["body"]["exact"] is True

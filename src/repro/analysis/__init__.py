@@ -12,11 +12,16 @@ The subsystem layers, bottom to top:
 * :mod:`repro.analysis.counts` — static prediction of the simulator's
   vector counters from a trip profile (the differential oracle);
 * :mod:`repro.analysis.critpath` — chime-level critical-path / binding
-  pipe estimation.
+  pipe estimation;
+* :mod:`repro.analysis.staticpred` — the static prediction tier: an
+  abstract interpreter that reproduces the simulator's cycles and
+  counters (bit-exactly on provable control flow) without running it.
 
 Entry points: :func:`analyze_program` (memoized CFG + dataflow),
-:func:`lint_program`, :func:`static_counts`, and
-:func:`static_critical_path`.  The memo is keyed by program identity
+:func:`lint_program`, :func:`static_counts`,
+:func:`static_critical_path`, and
+:func:`~repro.analysis.staticpred.predict_program`.  The memo is
+keyed by program identity
 and dropped by :func:`clear_analysis_cache` (wired into
 ``repro.workloads.clear_caches``).
 """
@@ -40,6 +45,11 @@ from .checks import (
 from .counts import StaticCounts, StripInfo, estimate_counts, find_strip_loop
 from .critpath import ChimeCost, CriticalPath, critical_path
 from .dataflow import DataflowResult, solve
+from .staticpred import (
+    MODEL_TIER_WIDEN,
+    StaticPrediction,
+    predict_program,
+)
 
 __all__ = [
     "BasicBlock",
@@ -51,15 +61,18 @@ __all__ = [
     "Finding",
     "LintOptions",
     "Loop",
+    "MODEL_TIER_WIDEN",
     "ProgramAnalysis",
     "Severity",
     "StaticCounts",
+    "StaticPrediction",
     "StripInfo",
     "analyze_program",
     "build_cfg",
     "clear_analysis_cache",
     "find_strip_loop",
     "lint_program",
+    "predict_program",
     "static_counts",
     "static_critical_path",
 ]

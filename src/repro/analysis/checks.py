@@ -9,6 +9,8 @@ check id           severity  flags
                    WARNING   register read initialized on only *some* paths
 ``vl-reset-read``  WARNING   vector instruction relying on the architectural VL
                              reset value (no explicit VL write reaches it)
+``vl-redundant``   WARNING   ``mov #N,VL`` in a vector block re-asserting a VL
+                             value already explicitly in effect
 ``vl-clobber``     WARNING   VL rewritten between vector instructions of one
                              basic block inside a loop
 ``pair-conflict``  ERROR     a chime violating the one-instruction-per-pipe or
@@ -247,6 +249,47 @@ class _Checker:
                     f"paths (VL writes at pc {sorted(defs)})",
                     pc,
                 )
+
+    def check_vl_redundant(self) -> None:
+        """``mov #N,VL`` re-asserting a VL that already holds.
+
+        Fires only in blocks doing vector work (where the extra
+        scalar instruction delays the chained vector block) and only
+        when VL was *explicitly* established on every incoming path —
+        re-asserting the architectural reset value is the fix for
+        ``vl-reset-read``, not a redundancy.
+        """
+        from ..isa.operands import Immediate
+
+        for index in sorted(self.cfg.reachable):
+            block = self.cfg.blocks[index]
+            pcs = block.pcs()
+            if not any(self.program[pc].is_vector for pc in pcs):
+                continue
+            for pc in pcs:
+                instr = self.program[pc]
+                if VL not in instr.writes or instr.mnemonic != "mov":
+                    continue
+                source = instr.operands[0]
+                if not isinstance(source, Immediate):
+                    continue
+                if VL not in self.dataflow.definite_in[pc]:
+                    continue
+                incoming = self.dataflow.vl_in[pc]
+                if incoming is None:
+                    continue
+                value = max(
+                    0, min(int(source.value), self.options.max_vl)
+                )
+                if value == incoming:
+                    self.emit(
+                        "vl-redundant", Severity.WARNING,
+                        f"mov #{int(source.value)},VL re-asserts the "
+                        f"VL value already in effect ({incoming}); "
+                        "the extra scalar instruction delays the "
+                        "chained vector block",
+                        pc,
+                    )
 
     def check_vl_clobbers(self) -> None:
         for index in sorted(self.cfg.reachable):
@@ -501,6 +544,7 @@ def run_checks(
     checker = _Checker(cfg, dataflow, options)
     checker.check_uninit_reads()
     checker.check_vl_reset_reads()
+    checker.check_vl_redundant()
     checker.check_vl_clobbers()
     checker.check_schedule()
     checker.check_pair_conflicts()

@@ -1,0 +1,815 @@
+"""Static performance prediction: the simulator's answer without the
+simulator.
+
+:func:`predict_program` abstractly interprets a compiled program and
+returns the same cycle count and counter schema a
+:class:`~repro.machine.simulator.Simulator` run would produce — plus a
+confidence interval — without executing a single vector element.
+
+The engine rests on one structural fact about the C-240 timing model:
+``TimingModel`` consumes only *control* state (the instruction stream,
+branch directions, and VL at each vector instruction), never vector
+*data*.  A walker that resolves control flow exactly can therefore
+drive the real timing model and reproduce the simulator's cycles bit
+for bit.  Control flow in the compiled kernels is scalar-register
+arithmetic over known inputs, so the walker tracks an abstraction of
+the scalar machine:
+
+* **a/s/VS registers** — concrete Python ``int``/``float`` values, or
+  TOP (data-dependent: loaded from unknown memory, read out of a
+  vector, or a ``sum`` reduction).  Scalar float arithmetic mirrors
+  ``execute_decoded`` operation for operation, so concrete values are
+  bit-identical to the interpreter's.
+* **VL** — always concrete (the strip-mine protocol writes it from
+  trip counters); a write from TOP aborts the exact tier.
+* **flag** — concrete ``bool`` or TOP; a conditional branch on TOP
+  aborts the exact tier.
+* **memory** — a partial map ``word -> float`` seeded from the known
+  initial image (scalar inputs + compiler literal pool); stores with
+  unknown addresses clear it, loads of unmapped words produce TOP.
+
+Loop bodies are summarized with the fast-path engine's own proof
+machinery (:mod:`repro.machine.fastpath`): the walker monitors back
+edges, classifies the body into affine recurrences, solves the trip
+count, and advances the pipeline by analytic clock shift or timing
+replay — the identical helpers the simulator's fast path uses, so the
+cycle arithmetic is the same code path that is differentially tested
+against pure interpretation.
+
+When a proof obligation fails (a data-dependent branch, a ``T_LEGACY``
+instruction, the scalar-cache model), prediction falls back to the
+**model tier**: :func:`~repro.analysis.counts.estimate_counts` for the
+vector counters and :func:`~repro.analysis.critpath.critical_path` for
+a MACS-style cycle bound, published with a deliberately wide
+confidence interval (see :data:`MODEL_TIER_WIDEN`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import AnalysisError
+from ..isa.program import Program
+from ..machine.config import MachineConfig
+from ..machine.fastpath import (
+    MAX_BODY,
+    MAX_EDGE_FAILS,
+    MIN_SKIP,
+    _classify,
+    _closure,
+    _Decline,
+    _eval_form,
+    _on_grid,
+    _replay_timing,
+    _slope,
+    _trip_count,
+    _try_analytic_shift,
+)
+from ..machine.memory import MemorySystem
+from ..machine.pipeline import PipelineState, TimingModel
+from ..machine.semantics import (
+    OP_ADD,
+    OP_DIV,
+    OP_MUL,
+    CMP_LE,
+    CMP_LT,
+    K_A,
+    K_IMM,
+    K_S,
+    K_VL,
+    T_ALU,
+    T_BR,
+    T_BRS,
+    T_CMP,
+    T_LD_S,
+    T_LD_V,
+    T_LEGACY,
+    T_MOV,
+    T_MOV_VV,
+    T_NEG_S,
+    T_NEG_V,
+    T_ST_S,
+    T_ST_V,
+    T_SUM,
+    DecodedInstruction,
+    decode_program,
+)
+from ..resilience import faults as _faults
+from ..resilience import watchdog
+
+#: Mirror of the simulator's runaway guard.
+DEFAULT_MAX_INSTRUCTIONS = 5_000_000
+
+#: Documented confidence-interval widening factor for the model tier:
+#: the chime critical path is an optimistic MACS-style bound, so the
+#: interval [bound, MODEL_TIER_WIDEN * bound] brackets delivered
+#: performance for every workload shape the calibration ledger has
+#: seen (docs/static-tier.md).
+MODEL_TIER_WIDEN = 4.0
+
+__all__ = [
+    "DEFAULT_MAX_INSTRUCTIONS",
+    "MODEL_TIER_WIDEN",
+    "StaticPrediction",
+    "predict_program",
+]
+
+
+class _Bail(Exception):
+    """Internal: the exact tier cannot continue (reason attached)."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class StaticPrediction:
+    """One static prediction in the simulator's result schema.
+
+    ``tier`` is ``"exact"`` (cycle-exact walk: every counter and the
+    cycle count equal a simulator run bit for bit) or ``"model"``
+    (MACS-style bound with estimated scalar counters).  The
+    ``cycles_low``/``cycles_high`` interval is degenerate for the
+    exact tier and ``[bound, MODEL_TIER_WIDEN * bound]`` for the
+    model tier.
+    """
+
+    program_name: str
+    tier: str
+    cycles: float
+    cycles_low: float
+    cycles_high: float
+    instructions_executed: int
+    vector_instructions: int
+    scalar_instructions: int
+    vector_memory_ops: int
+    scalar_memory_ops: int
+    flops: int
+    #: exact-tier bookkeeping (how much work the loop summaries saved)
+    loops_summarized: int = 0
+    iterations_skipped: int = 0
+    #: why the exact tier declined (model tier only)
+    decline_reason: str | None = None
+
+    @property
+    def exact(self) -> bool:
+        return self.tier == "exact"
+
+    @property
+    def relative_width(self) -> float:
+        """Half-width of the confidence interval relative to cycles."""
+        if self.cycles <= 0:
+            return 0.0
+        return (self.cycles_high - self.cycles_low) / (2.0 * self.cycles)
+
+    def counters(self) -> dict[str, int]:
+        """The simulator counter tuple (sentinel comparison schema)."""
+        return {
+            "instructions_executed": self.instructions_executed,
+            "vector_instructions": self.vector_instructions,
+            "scalar_instructions": self.scalar_instructions,
+            "vector_memory_ops": self.vector_memory_ops,
+            "scalar_memory_ops": self.scalar_memory_ops,
+            "flops": self.flops,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "program": self.program_name,
+            "tier": self.tier,
+            "exact": self.exact,
+            "cycles": self.cycles,
+            "cycles_low": self.cycles_low,
+            "cycles_high": self.cycles_high,
+        }
+        payload.update(self.counters())
+        if self.decline_reason is not None:
+            payload["decline_reason"] = self.decline_reason
+        return payload
+
+
+# ----------------------------------------------------------------------
+# The exact tier: a timing shadow execution
+# ----------------------------------------------------------------------
+
+
+class _Walker:
+    """Abstract interpreter driving the real timing model.
+
+    TOP is represented as ``None`` in the register lists and as an
+    absent key in the memory map.  All mirror arithmetic happens on
+    the same Python ``int``/``float`` types as ``execute_decoded``.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: MachineConfig,
+        known_memory: dict[int, float] | None,
+        max_instructions: int,
+    ):
+        if config.scalar_cache_enabled:
+            # Scalar-cache hit/miss timing depends on every scalar
+            # load address; unknown addresses would poison the clock.
+            raise _Bail("scalar-cache-enabled")
+        self.program = program
+        self.config = config
+        self.max_instructions = max_instructions
+        self.decoded = decode_program(program)
+        self.memory_model = MemorySystem(
+            program.layout.total_words, config
+        )
+        self.state = PipelineState(config)
+        self.model = TimingModel(config, self.memory_model)
+        timings = config.timings
+        self.vtimings = tuple(
+            timings.lookup(d.timing_key) if d.is_vector else None
+            for d in self.decoded
+        )
+        # -- abstract architectural state (RegisterFile reset mirror) --
+        from ..isa.registers import (
+            NUM_ADDRESS_REGISTERS,
+            NUM_SCALAR_REGISTERS,
+        )
+
+        self.max_vl = config.max_vl
+        self.a: list[int | None] = [0] * NUM_ADDRESS_REGISTERS
+        self.s: list[float | None] = [0.0] * NUM_SCALAR_REGISTERS
+        self.vl: int = config.max_vl
+        self.vs: int | None = 1
+        self.flag: bool | None = False
+        self.mem: dict[int, float] = dict(known_memory or {})
+        # -- counters (simulator run-loop mirror) ----------------------
+        self.executed = 0
+        self.vector_count = 0
+        self.scalar_count = 0
+        self.vector_memory = 0
+        self.scalar_memory = 0
+        self.flops = 0
+        # -- back-edge monitor (FastPathEngine mirror) -----------------
+        self._monitor = -1
+        self._events: list[tuple[int, bool]] = []
+        self._fails: dict[int, int] = {}
+        self._blacklist: set[int] = set()
+        self._prev_sig: Any = None
+        self._prev_fp: Any = None
+        self._prev_grid = False
+        self._prev_issue = 0.0
+        self.loops_summarized = 0
+        self.iterations_skipped = 0
+
+    # -- abstract scalar semantics (execute_decoded mirror) ------------
+
+    def _fetch(self, spec: Any) -> int | float | None:
+        """Raw scalar operand (mirror of ``fetch_scalar``)."""
+        kind, payload = spec
+        if kind == K_IMM:
+            return payload  # int or float exactly as decoded
+        if kind == K_A:
+            return self.a[payload]
+        if kind == K_S:
+            return self.s[payload]
+        if kind == K_VL:
+            return self.vl
+        return self.vs
+
+    def _fetch_float(self, spec: Any) -> float | None:
+        """Floated ALU operand (mirror of ``_fetch_float``)."""
+        value = self._fetch(spec)
+        return None if value is None else float(value)
+
+    def _write(self, spec: Any, value: int | float | None) -> None:
+        """Scalar register write (mirror of ``write_scalar``)."""
+        kind, payload = spec
+        if kind == K_A:
+            self.a[payload] = None if value is None else int(value)
+        elif kind == K_S:
+            self.s[payload] = None if value is None else float(value)
+        elif kind == K_VL:
+            if value is None:
+                raise _Bail("vl-from-unknown-value")
+            self.vl = max(0, min(int(value), self.max_vl))
+        else:
+            self.vs = None if value is None else int(value)
+
+    def _address(self, d: DecodedInstruction) -> int | None:
+        base = self.a[d.base_idx]
+        return None if base is None else base + d.offset
+
+    def _step(self, d: DecodedInstruction) -> bool:
+        """Abstractly execute one instruction; returns branch-taken."""
+        tag = d.tag
+        if tag == T_ALU:
+            if d.dest_vec_idx is not None:
+                return False  # vector result: no scalar state touched
+            if d.lhs_spec[0] == "v" or d.rhs_spec[0] == "v":
+                self._write(d.dest_spec, None)  # flat[0] of vector data
+                return False
+            lhs = self._fetch_float(d.lhs_spec)
+            rhs = self._fetch_float(d.rhs_spec)
+            if lhs is None or rhs is None:
+                self._write(d.dest_spec, None)
+                return False
+            op = d.alu_op
+            if op == OP_ADD:
+                result = lhs + rhs
+            elif op == OP_MUL:
+                result = lhs * rhs
+            elif op == OP_DIV:
+                if rhs == 0.0:
+                    raise _Bail("scalar-divide-by-zero")
+                result = lhs / rhs
+            else:
+                result = lhs - rhs
+            self._write(d.dest_spec, float(result))
+            return False
+        if tag in (T_LD_V, T_ST_V, T_MOV_VV, T_NEG_V):
+            return False  # pure vector data; timing needs no address
+        if tag == T_LD_S:
+            address = self._address(d)
+            if address is None:
+                self._write(d.dest_spec, None)
+                return False
+            if address % 8:
+                raise _Bail("scalar-load-unaligned")
+            self._write(d.dest_spec, self.mem.get(address // 8))
+            return False
+        if tag == T_ST_S:
+            address = self._address(d)
+            if address is None:
+                # unknown destination: every known word is suspect
+                self.mem.clear()
+                return False
+            if address % 8:
+                raise _Bail("scalar-store-unaligned")
+            value = self._fetch(d.src_spec)
+            word = address // 8
+            if value is None:
+                self.mem.pop(word, None)
+            else:
+                self.mem[word] = float(value)
+            return False
+        if tag == T_MOV:
+            self._write(d.dest_spec, self._fetch(d.src_spec))
+            return False
+        if tag == T_CMP:
+            lhs = self._fetch(d.lhs_spec)
+            rhs = self._fetch(d.rhs_spec)
+            if lhs is None or rhs is None:
+                self.flag = None
+            elif d.cmp_op == CMP_LT:
+                self.flag = lhs < rhs
+            elif d.cmp_op == CMP_LE:
+                self.flag = lhs <= rhs
+            else:
+                self.flag = lhs == rhs
+            return False
+        if tag == T_BRS:
+            if self.flag is None:
+                raise _Bail("branch-on-unknown-flag")
+            return self.flag if d.branch_sense else not self.flag
+        if tag == T_BR:
+            return True
+        if tag == T_SUM:
+            self.s[d.dest_spec[1]] = None  # data-dependent reduction
+            return False
+        if tag == T_NEG_S:
+            value = self._fetch(d.src_spec)
+            self._write(d.dest_spec, None if value is None else -value)
+            return False
+        if tag == T_LEGACY:
+            raise _Bail("legacy-instruction")
+        return False
+
+    # -- the run loop (Simulator.run mirror) ---------------------------
+
+    def run(self) -> None:
+        program = self.program
+        decoded = self.decoded
+        state = self.state
+        model = self.model
+        vtimings = self.vtimings
+        cycle_budget = self.config.cycle_budget
+        n_instructions = len(program)
+        pc = 0
+        while 0 <= pc < n_instructions:
+            if self.executed >= self.max_instructions:
+                watchdog.check_instructions(
+                    self.executed, self.max_instructions, program.name
+                )
+            if cycle_budget is not None:
+                watchdog.check_cycles(
+                    state.issue_clock, cycle_budget, program.name
+                )
+            d = decoded[pc]
+            taken = self._step(d)
+            if d.is_vector:
+                model.time_vector_decoded(
+                    state, d, vtimings[pc], pc, self.vl, record=False
+                )
+                self.vector_count += 1
+                if d.is_vector_memory:
+                    self.vector_memory += 1
+                self.flops += d.flop_count * self.vl
+            else:
+                if d.is_scalar_memory:
+                    self.scalar_memory += 1
+                model.time_scalar_decoded(
+                    state, d, pc,
+                    branch_taken=taken,
+                    word_address=None,
+                    record=False,
+                )
+                self.scalar_count += 1
+            self.executed += 1
+            if taken:
+                self._on_branch(pc, True)
+                pc = d.target_pc
+            else:
+                if d.is_branch:
+                    self._on_branch(pc, False)
+                pc += 1
+
+    # -- back-edge monitor (FastPathEngine mirror, value-free) ---------
+
+    def _on_branch(self, pc: int, taken: bool) -> None:
+        mon = self._monitor
+        if mon < 0:
+            if (
+                taken
+                and self.decoded[pc].target_pc <= pc
+                and pc not in self._blacklist
+            ):
+                self._monitor = pc
+                self._events = []
+                self._prev_sig = None
+                self._prev_fp = None
+            return
+        self._events.append((pc, taken))
+        if pc != mon or not taken:
+            if len(self._events) > 4 * MAX_BODY:
+                self._fail()
+            return
+        self._boundary()
+
+    def _boundary(self) -> None:
+        events = self._events
+        self._events = []
+        try:
+            seq, outcomes = self._reconstruct(events)
+        except _Decline:
+            self._fail()
+            return
+        sig = (tuple(seq), tuple(sorted(outcomes.items())))
+        if sig != self._prev_sig:
+            self._prev_sig = sig
+            self._capture_fp()
+            return
+        prev_fp, prev_issue = self._prev_fp, self._prev_issue
+        prev_grid = self._prev_grid
+        try:
+            skipped = self._engage(
+                seq, outcomes, prev_fp, prev_issue, prev_grid
+            )
+        except _Decline:
+            self._fail()
+            return
+        if not skipped:  # trip count too small right now
+            self._capture_fp()
+            return
+        self._prev_sig = None
+        self._prev_fp = None
+        self._fails[self._monitor] = 0
+
+    def _capture_fp(self) -> None:
+        state = self.state
+        self._prev_issue = state.issue_clock
+        self._prev_fp = state.clock_fingerprint()
+        self._prev_grid = all(
+            _on_grid(v) for v in state.absolute_clocks()
+        )
+
+    def _fail(self) -> None:
+        mon = self._monitor
+        count = self._fails.get(mon, 0) + 1
+        self._fails[mon] = count
+        self._events = []
+        self._prev_sig = None
+        self._prev_fp = None
+        if count >= MAX_EDGE_FAILS:
+            self._blacklist.add(mon)
+            self._monitor = -1
+
+    def _reconstruct(
+        self, events: list[tuple[int, bool]]
+    ) -> tuple[list[int], dict[int, bool]]:
+        decoded = self.decoded
+        mon = self._monitor
+        seq: list[int] = []
+        outcomes: dict[int, bool] = {}
+        pc = decoded[mon].target_pc
+        ei = 0
+        last = len(events) - 1
+        while True:
+            seq.append(pc)
+            if len(seq) > MAX_BODY:
+                raise _Decline("body-too-long")
+            d = decoded[pc]
+            if d.is_branch:
+                if ei > last or events[ei][0] != pc:
+                    raise _Decline("trace-mismatch")
+                taken = events[ei][1]
+                outcomes[len(seq) - 1] = taken
+                if ei == last:
+                    if pc != mon or not taken:
+                        raise _Decline("trace-mismatch")
+                    return seq, outcomes
+                ei += 1
+                pc = d.target_pc if taken else pc + 1
+            else:
+                pc += 1
+
+    def _head_state(self) -> dict[Any, Any]:
+        """Head values for the affine solver; NaN encodes TOP.
+
+        NaN is never ``_is_intval`` and never compares equal, so every
+        fast-path proof involving a TOP slot declines — exactly the
+        conservative behavior the walker needs.
+        """
+        head: dict[Any, Any] = {
+            ("vs",): math.nan if self.vs is None else self.vs
+        }
+        for i, av in enumerate(self.a):
+            head[("a", i)] = math.nan if av is None else av
+        for i, sv in enumerate(self.s):
+            head[("s", i)] = math.nan if sv is None else sv
+        return head
+
+    def _engage(
+        self,
+        seq: list[int],
+        outcomes: dict[int, bool],
+        prev_fp: Any,
+        prev_issue: float,
+        prev_grid: bool,
+    ) -> bool:
+        """Summarize the monitored loop; True when iterations skipped.
+
+        Reuses the fast-path proof pipeline for classification, trip
+        count, and timing advance, but skips value reconstruction:
+        written slots that are not provably affine become TOP, which
+        is sound because any later control-flow use of them bails to
+        the model tier.
+        """
+        decoded = self.decoded
+        head = self._head_state()
+        plan = _classify(
+            decoded, seq, outcomes, self.vl, self.max_vl, head
+        )
+        S, steps = _closure(plan)
+        budget = (self.max_instructions - self.executed) // len(seq)
+        k = _trip_count(plan, S, steps, budget, self.max_vl)
+        if k < MIN_SKIP:
+            return False
+
+        self._invalidate_stores(plan, S, steps, head, k)
+        self._advance_slots(plan, S, steps, head, k)
+        if plan.has_compare:
+            # the final compare's flag is recomputed before any branch
+            # in the next interpreted iteration; TOP is safe either way
+            self.flag = None
+
+        state = self.state
+        analytic = False
+        if (
+            prev_fp is not None
+            and prev_grid
+            and (
+                not plan.has_memory
+                or not self.config.refresh_enabled
+            )
+            and prev_fp == state.clock_fingerprint()
+        ):
+            analytic = _try_analytic_shift(
+                state, state.issue_clock - prev_issue, k
+            )
+        if not analytic:
+            # templates are only dereferenced under the scalar-cache
+            # model, which the walker refuses up front
+            _replay_timing(self.model, state, decoded, plan, [], k)
+
+        self.executed += len(seq) * k
+        self.vector_count += plan.n_vector * k
+        self.scalar_count += plan.n_scalar * k
+        self.vector_memory += plan.n_vmem * k
+        self.scalar_memory += plan.n_smem * k
+        self.flops += plan.n_flops * k
+        self.loops_summarized += 1
+        self.iterations_skipped += k
+        return True
+
+    def _advance_slots(
+        self,
+        plan: Any,
+        S: set[Any],
+        steps: dict[Any, int],
+        head: dict[Any, Any],
+        k: int,
+    ) -> None:
+        """Advance written slots by ``k`` iterations (affine or TOP)."""
+        for slot in plan.scalar_write_pos:
+            if slot in S:
+                step = steps[slot]
+                if step == 0:
+                    continue  # recomputed constant / identity carry
+                # closure guarantees an integral head below 2**53, so
+                # h + k*step is exact in both int and float arithmetic
+                end = int(head[slot]) + k * step
+                if slot[0] == "a":
+                    self.a[slot[1]] = end
+                elif slot[0] == "s":
+                    self.s[slot[1]] = float(end)
+                else:
+                    self.vs = end
+            else:
+                if slot[0] == "a":
+                    self.a[slot[1]] = None
+                elif slot[0] == "s":
+                    self.s[slot[1]] = None
+                else:
+                    self.vs = None
+
+    def _invalidate_stores(
+        self,
+        plan: Any,
+        S: set[Any],
+        steps: dict[Any, int],
+        head: dict[Any, Any],
+        k: int,
+    ) -> None:
+        """Drop known words the skipped stores may have overwritten."""
+        if not self.mem:
+            return
+        for pos in sorted(plan.mem_pos):
+            kind, addr, stride, vl = plan.mem_pos[pos]
+            if kind not in ("sts", "stv"):
+                continue
+            if any(sym not in S for sym in addr[1]):
+                self.mem.clear()
+                return
+            a0 = _eval_form(addr, head)
+            astep = _slope(addr, steps)
+            if a0 is None or a0 % 8 or astep % 8:
+                self.mem.clear()
+                return
+            w0 = int(a0) // 8
+            wstep = astep // 8
+            elems = range(vl) if kind == "stv" else range(1)
+            estride = stride if kind == "stv" else 0
+            for word in list(self.mem):
+                for e in elems:
+                    r = word - w0 - e * estride
+                    if wstep == 0:
+                        hit = r == 0
+                    else:
+                        hit = r % wstep == 0 and 0 <= r // wstep < k
+                    if hit:
+                        del self.mem[word]
+                        break
+
+
+# ----------------------------------------------------------------------
+# The model tier: counts oracle + chime critical path
+# ----------------------------------------------------------------------
+
+
+def _model_tier(
+    program: Program,
+    config: MachineConfig,
+    trips: tuple[int, ...] | None,
+    reason: str,
+) -> StaticPrediction:
+    from . import analyze_program
+    from .counts import estimate_counts
+    from .critpath import critical_path
+
+    if trips is None:
+        raise AnalysisError(
+            f"{program.name}: static prediction declined "
+            f"({reason}) and no trip profile was given for the "
+            "model tier"
+        )
+    analysis = analyze_program(program)
+    counts = estimate_counts(
+        analysis.cfg, analysis.dataflow, trips, config.max_vl
+    )
+    path = critical_path(
+        analysis.cfg,
+        analysis.dataflow,
+        trips,
+        timings=config.timings,
+        max_vl=config.max_vl,
+    )
+    bound = path.estimated_cycles
+    if bound is None or bound <= 0:
+        raise AnalysisError(
+            f"{program.name}: static prediction declined ({reason}) "
+            "and the critical-path bound is unavailable"
+        )
+    # Scalar counters are estimated from the static shape: strip-loop
+    # blocks execute once per strip, everything else once.
+    strip = analysis.strip_loop
+    loop_blocks = strip.loop.blocks if strip is not None else frozenset()
+    decoded = decode_program(program)
+    scalar_in_loop = 0
+    scalar_outside = 0
+    smem_in_loop = 0
+    smem_outside = 0
+    for block in analysis.cfg.blocks:
+        in_loop = block.index in loop_blocks
+        for pc in block.pcs():
+            d = decoded[pc]
+            if d.is_vector:
+                continue
+            if in_loop:
+                scalar_in_loop += 1
+                smem_in_loop += 1 if d.is_scalar_memory else 0
+            else:
+                scalar_outside += 1
+                smem_outside += 1 if d.is_scalar_memory else 0
+    scalar_instructions = (
+        scalar_outside + counts.strips * scalar_in_loop
+    )
+    scalar_memory_ops = smem_outside + counts.strips * smem_in_loop
+    return StaticPrediction(
+        program_name=program.name,
+        tier="model",
+        cycles=float(bound),
+        cycles_low=float(bound),
+        cycles_high=float(bound) * MODEL_TIER_WIDEN,
+        instructions_executed=(
+            counts.vector_instructions + scalar_instructions
+        ),
+        vector_instructions=counts.vector_instructions,
+        scalar_instructions=scalar_instructions,
+        vector_memory_ops=counts.vector_memory_ops,
+        scalar_memory_ops=scalar_memory_ops,
+        flops=counts.flops,
+        decline_reason=reason,
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def predict_program(
+    program: Program,
+    config: MachineConfig,
+    known_memory: dict[int, float] | None = None,
+    trips: tuple[int, ...] | None = None,
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+) -> StaticPrediction:
+    """Statically predict a program run under ``config``.
+
+    ``known_memory`` maps word offsets to their known initial values
+    (scalar inputs and the compiler's literal pool — everything the
+    walker needs to resolve trip counts).  ``trips`` enables the
+    model-tier fallback when the exact tier declines.
+
+    Typed budget errors (:class:`~repro.errors.BudgetExceededError`)
+    propagate exactly as a simulator run would raise them; only
+    exact-tier *proof* failures fall back to the model tier.
+    """
+    try:
+        walker = _Walker(program, config, known_memory, max_instructions)
+        walker.run()
+    except _Bail as bail:
+        return _model_tier(program, config, trips, bail.reason)
+    state = walker.state
+    spec = _faults.check("static.predict")
+    if spec is not None and spec.kind == "skew":
+        # Chaos hook: push the static clocks off the exact timeline so
+        # the calibration loop has a real defect to catch.  Dead (one
+        # ``is None`` test) without an armed plan.
+        state.shift_clocks(spec.value)
+    cycles = float(state.finish_time())
+    return StaticPrediction(
+        program_name=program.name,
+        tier="exact",
+        cycles=cycles,
+        cycles_low=cycles,
+        cycles_high=cycles,
+        instructions_executed=walker.executed,
+        vector_instructions=walker.vector_count,
+        scalar_instructions=walker.scalar_count,
+        vector_memory_ops=walker.vector_memory,
+        scalar_memory_ops=walker.scalar_memory,
+        flops=walker.flops,
+        loops_summarized=walker.loops_summarized,
+        iterations_skipped=walker.iterations_skipped,
+    )

@@ -475,6 +475,12 @@ def _cmd_serve(args) -> int:
         default_deadline_s=args.deadline,
         job_timeout_s=args.job_timeout,
         retries=args.retries,
+        calibrate_every=args.calibrate_every,
+        ledger_path=args.ledger,
+        **(
+            {"agreement_gate": args.agreement_gate}
+            if args.agreement_gate is not None else {}
+        ),
     )
 
     def announce(server) -> None:
@@ -490,6 +496,20 @@ def _cmd_request(args) -> int:
 
     from .service.client import ServiceClient, offline_response
     from .service.protocol import ProtocolError
+
+    kind = args.kind_flag or args.kind
+    if kind is None:
+        print("error: request needs a kind (positional or --kind)",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if (args.kind is not None and args.kind_flag is not None
+            and args.kind != args.kind_flag):
+        print(
+            f"error: conflicting kinds {args.kind!r} and "
+            f"--kind {args.kind_flag!r}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
 
     params: dict = {}
     if args.params:
@@ -519,7 +539,7 @@ def _cmd_request(args) -> int:
 
     try:
         if args.offline:
-            response = offline_response(args.kind, params)
+            response = offline_response(kind, params)
         else:
             if args.endpoint is None:
                 print(
@@ -531,7 +551,7 @@ def _cmd_request(args) -> int:
             with ServiceClient(args.endpoint,
                                timeout=args.timeout) as client:
                 response = client.request(
-                    args.kind, params, deadline_s=args.deadline
+                    kind, params, deadline_s=args.deadline
                 )
     except ProtocolError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -762,6 +782,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=2, metavar="N",
         help="retry budget for crashed/hung worker jobs (default 2)",
     )
+    serve_cmd.add_argument(
+        "--calibrate-every", type=int, default=0, metavar="N",
+        help="replay every Nth advise request exactly and record the "
+        "static-vs-exact delta in the agreement ledger (default 0 = "
+        "off)",
+    )
+    serve_cmd.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="durable agreement-ledger log for calibration verdicts",
+    )
+    serve_cmd.add_argument(
+        "--agreement-gate", type=float, default=None, metavar="FRAC",
+        help="relative cycle-error gate for static predictions "
+        "(default 0.01)",
+    )
 
     request_cmd = sub.add_parser(
         "request",
@@ -769,9 +804,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(or execute it --offline)",
     )
     request_cmd.add_argument(
-        "kind",
+        "kind", nargs="?", default=None,
         help="request kind: run, bound, mac, ax, lint, analyze, "
-        "report, sweep, ping, healthz, metrics, drain",
+        "advise, report, sweep, ping, healthz, metrics, drain",
+    )
+    request_cmd.add_argument(
+        "--kind", dest="kind_flag", default=None, metavar="KIND",
+        help="request kind (flag form of the positional)",
     )
     request_cmd.add_argument(
         "--endpoint", default=None, metavar="ADDR",

@@ -32,6 +32,7 @@ from .extensions import (
 from .figure1 import run_figure1
 from .report import generate_report, write_report
 from .staticsummary import run_static_summary
+from .statictier import run_static_tier
 from .vlstudy import n_half_from_curve, run_vector_length_study
 from .figure2 import run_figure2
 from .figure3 import run_figure3
@@ -61,6 +62,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "extension-dbound": run_extension_dbound,
     "advisor": run_advisor,
     "static-summary": run_static_summary,
+    "static-tier": run_static_tier,
     "ablation-bubbles": run_ablation_bubbles,
     "ablation-refresh": run_ablation_refresh,
     "ablation-reuse": run_ablation_reuse,
@@ -91,6 +93,7 @@ __all__ = [
     "run_extension_dbound",
     "run_extension_short_vectors",
     "run_static_summary",
+    "run_static_tier",
     "generate_report",
     "n_half_from_curve",
     "run_figure1",

@@ -453,7 +453,10 @@ def _record_vl_write(plan: _LoopPlan, form, max_vl: int) -> int:
     return clamped
 
 
-def _eval_form(form, head):
+def _eval_form(
+    form: tuple[float, dict[tuple, int]],
+    head: dict[tuple, float],
+) -> int | float | None:
     """Evaluate a form at j=0 in exact integer arithmetic.
 
     Returns None unless the constant and every referenced head value

@@ -13,7 +13,9 @@ Public surface:
   transformers;
 * :func:`calibrate_all` / :func:`compare_with_table1` — Table 1
   regeneration;
-* :func:`workload_hmean_mflops`, :func:`render_hierarchy`.
+* :func:`workload_hmean_mflops`, :func:`render_hierarchy`;
+* :func:`predict_kernel` / :class:`StaticKernelPrediction` — the
+  static serving tier (full MACS answers without simulation).
 """
 
 from .advisor import Advice, AdviceTarget, advise, advise_report
@@ -48,6 +50,13 @@ from .macs import (
     macs_f_bound,
     macs_m_bound,
 )
+from .statictier import (
+    StaticKernelPrediction,
+    clear_static_cache,
+    known_initial_memory,
+    predict_kernel,
+    static_cache_size,
+)
 
 __all__ = [
     "AXMeasurement",
@@ -61,6 +70,7 @@ __all__ = [
     "MacsBound",
     "MacsDBound",
     "OperationCounts",
+    "StaticKernelPrediction",
     "access_only_program",
     "advise",
     "advise_report",
@@ -68,10 +78,12 @@ __all__ = [
     "analyze_workload",
     "calibrate_all",
     "calibrate_instruction",
+    "clear_static_cache",
     "compare_with_table1",
     "execute_only_program",
     "extended_macs_bound",
     "inner_loop_body",
+    "known_initial_memory",
     "ma_bound",
     "ma_counts",
     "mac_bound",
@@ -81,6 +93,8 @@ __all__ = [
     "macs_f_bound",
     "macs_m_bound",
     "measure_ax",
+    "predict_kernel",
     "render_hierarchy",
+    "static_cache_size",
     "workload_hmean_mflops",
 ]

@@ -24,7 +24,16 @@ Public surface:
 * :mod:`~repro.service.singleflight` — :class:`SingleFlight`;
 * :mod:`~repro.service.metrics` — :class:`ServiceMetrics`;
 * :mod:`~repro.service.jobs` — :func:`execute_request`, the picklable
-  worker entry point.
+  worker entry point;
+* :mod:`~repro.service.agreement` — the static tier's calibration
+  loop (:class:`CalibrationSampler`, :class:`AgreementLedger`).
+
+The ``advise`` request kind is the *static fast tier*: it is answered
+inline on the frontend from the abstract-interpretation predictor
+(:func:`repro.model.predict_kernel`) and never occupies a queue slot
+or worker process; a sampling calibration loop replays a fraction of
+requests exactly and records static-vs-exact deltas in a durable
+agreement ledger.
 
 Submodules load lazily so importing :mod:`repro.workloads` (whose
 ``clear_caches`` resets the service result cache) never drags asyncio
@@ -52,6 +61,11 @@ _EXPORTS = {
     "start_in_thread": "server",
     "ServiceClient": "client",
     "offline_response": "client",
+    "AgreementLedger": "agreement",
+    "AgreementVerdict": "agreement",
+    "CalibrationSampler": "agreement",
+    "DEFAULT_AGREEMENT_GATE": "agreement",
+    "ledger_summary": "agreement",
 }
 
 __all__ = sorted(_EXPORTS)

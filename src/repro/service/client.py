@@ -208,6 +208,16 @@ class ServiceClient:
 
     # -- control conveniences ------------------------------------------
 
+    def advise(self, kernel: str, **params) -> Response:
+        """One static fast-tier prediction for ``kernel``.
+
+        Answered inline by the server's static tier — microseconds on
+        a warm process, never a simulator worker.  Accepts the same
+        params as ``run``/``bound`` (``variant``/``options``, ``n``,
+        ``no_fastpath``, ``max_cycles``).
+        """
+        return self.request("advise", {"kernel": kernel, **params})
+
     def ping(self) -> bool:
         return self.request("ping").ok
 

@@ -126,6 +126,24 @@ def _compute_analyze(payload: dict) -> dict:
     }
 
 
+def _compute_advise(payload: dict) -> dict:
+    """The static fast tier: never constructs a simulator.
+
+    The server answers ``advise`` inline on the frontend (the payload
+    still routes through this table so offline clients and calibration
+    replays share one deterministic body).
+    """
+    from ..model import predict_kernel
+
+    prediction = predict_kernel(
+        payload["kernel"],
+        options=options_from_dict(payload.get("options") or {}),
+        config=_config_from_payload(payload),
+        n=payload.get("n"),
+    )
+    return prediction.to_payload()
+
+
 def _compute_report(payload: dict) -> dict:
     from ..experiments.report import report_payload
 
@@ -161,6 +179,7 @@ _COMPUTE = {
     "ax": _compute_ax,
     "lint": _compute_lint,
     "analyze": _compute_analyze,
+    "advise": _compute_advise,
     "report": _compute_report,
     "sweep": _compute_sweep,
 }

@@ -10,11 +10,13 @@ request ``id`` and may arrive out of order.
     {"id": "r1", "kind": "bound", "params": {"kernel": "lfk1"}}
 
 ``kind`` is one of the compute kinds (:data:`REQUEST_KINDS` — ``run``,
-``bound``, ``mac``, ``ax``, ``lint``, ``analyze``, ``report``,
-``sweep``) or a control kind handled by the frontend without touching
-the worker pool (:data:`CONTROL_KINDS` — ``ping``, ``healthz``,
-``metrics``, ``drain``).  ``deadline_s`` (optional, top level) bounds
-the request's wall clock.
+``bound``, ``mac``, ``ax``, ``lint``, ``analyze``, ``advise``,
+``report``, ``sweep``) or a control kind handled by the frontend
+without touching the worker pool (:data:`CONTROL_KINDS` — ``ping``,
+``healthz``, ``metrics``, ``drain``).  ``deadline_s`` (optional, top
+level) bounds the request's wall clock.  ``advise`` is the *fast
+tier*: it is computed inline on the frontend from the static
+prediction engine and never occupies a worker slot.
 
 **Response envelope**::
 
@@ -59,9 +61,11 @@ from ..errors import (
 from ..machine import DEFAULT_CONFIG
 from ..sweep.spec import OPTION_VARIANTS, SweepTask, digest
 
-#: Compute kinds (executed on the worker pool, keyed and cached).
+#: Compute kinds (keyed and cached; all but ``advise`` run on the
+#: worker pool — ``advise`` is answered inline by the static tier).
 REQUEST_KINDS = (
-    "run", "bound", "mac", "ax", "lint", "analyze", "report", "sweep",
+    "run", "bound", "mac", "ax", "lint", "analyze", "advise",
+    "report", "sweep",
 )
 #: Control kinds (answered by the frontend, never queued or cached).
 CONTROL_KINDS = ("ping", "healthz", "metrics", "drain")
@@ -382,6 +386,23 @@ def canonicalize(kind: str, params: dict) -> Request:
                        payload={**payload, **inject},
                        deadline_s=deadline_s)
 
+    if kind == "advise":
+        kernel = _require_kernel(params)
+        options = resolve_options(params)
+        resolve_config(params)  # validate max_cycles early
+        payload = {
+            "kind": kind,
+            "kernel": kernel,
+            "options": options_to_dict(options),
+            **config_payload(params),
+        }
+        n = _problem_size(params)
+        if n is not None:
+            payload["n"] = n
+        return Request(kind=kind, key=f"advise:{digest(payload)}",
+                       payload={**payload, **inject},
+                       deadline_s=deadline_s)
+
     if kind == "report":
         from ..experiments import EXPERIMENTS
 
@@ -475,6 +496,29 @@ def error_response(request_id: str, kind: str, code: str,
             "key": key, "error": error}
 
 
+def _render_advise(body: dict) -> str:
+    """Text rendering of a static ``advise`` answer."""
+    lines = [body.get("report", "").rstrip(), ""]
+    tier = body.get("tier", "?")
+    lines.append(
+        f"  static t_p     {body.get('cpl', 0.0):8.2f} CPL "
+        f"[{body.get('cpl_low', 0.0):.2f}, "
+        f"{body.get('cpl_high', 0.0):.2f}]  ({tier} tier)"
+    )
+    advice = body.get("advice") or []
+    if advice:
+        lines.append("")
+        lines.append("  ranked advice:")
+        for rank, item in enumerate(advice, start=1):
+            lines.append(
+                f"    {rank}. [{item.get('target', '?')}] "
+                f"{item.get('summary', '')} "
+                f"(~{item.get('estimated_savings_cpl', 0.0):.2f} CPL, "
+                f"{item.get('gap', '?')} gap)"
+            )
+    return "\n".join(lines)
+
+
 def render_body(kind: str, body: dict) -> str:
     """Deterministic human rendering of a response body.
 
@@ -485,6 +529,8 @@ def render_body(kind: str, body: dict) -> str:
     """
     if kind == "analyze":
         return body.get("report", "")
+    if kind == "advise":
+        return _render_advise(body)
     if kind == "sweep":
         return body.get("table", "")
     if kind == "report":

@@ -60,6 +60,11 @@ from ..resilience import faults as _faults
 from ..resilience.retry import RetryPolicy
 from ..sweep.pool import WorkerPool
 from .admission import AdmissionController
+from .agreement import (
+    DEFAULT_AGREEMENT_GATE,
+    AgreementLedger,
+    CalibrationSampler,
+)
 from .cache import ResultCache
 from .jobs import execute_request
 from .metrics import ServiceMetrics
@@ -113,6 +118,13 @@ class ServiceConfig:
     job_timeout_s: float | None = None
     #: crash/hang retry budget for worker jobs
     retries: int = 2
+    #: sample every Nth ``advise`` request for an exact replay in the
+    #: worker pool (0 = calibration off)
+    calibrate_every: int = 0
+    #: durable agreement-ledger path (None = verdicts not persisted)
+    ledger_path: str | None = None
+    #: relative cycle-bound error gate for static predictions
+    agreement_gate: float = DEFAULT_AGREEMENT_GATE
 
     def __post_init__(self):
         if self.socket_path is None and self.host is None:
@@ -140,6 +152,15 @@ class AnalysisServer:
             workers=config.workers,
             retry=RetryPolicy(retries=config.retries),
             name="service",
+        )
+        self.calibration = CalibrationSampler(
+            every=config.calibrate_every,
+            gate=config.agreement_gate,
+            ledger=(
+                AgreementLedger(config.ledger_path)
+                if config.ledger_path
+                else None
+            ),
         )
         self.draining = False
         self.endpoints: list[str] = []
@@ -238,6 +259,8 @@ class AnalysisServer:
         stragglers = any(not task.done() for task in self._flights)
         self.pool.shutdown(kill=stragglers)
         self.cache.close()
+        if self.calibration.ledger is not None:
+            self.calibration.ledger.close()
         if self.config.socket_path is not None:
             try:
                 os.unlink(self.config.socket_path)
@@ -365,6 +388,10 @@ class AnalysisServer:
                 "queue_depth": self.admission.queue_depth,
                 "in_flight": self._active,
                 "cache_entries": len(self.cache),
+                "static_flagged": self.calibration.flagged,
+                "static_widened_gates": len(
+                    self.calibration.widened_gates
+                ),
             }
         elif kind == "metrics":
             body = self.metrics.snapshot(
@@ -411,6 +438,30 @@ class AnalysisServer:
                 "server is draining; no new computations accepted",
                 status="rejected", key=request.key,
             )
+
+        if request.kind == "advise":
+            # The static fast tier: answered inline on the frontend —
+            # never a queue slot, never a worker process.  The shared
+            # jobs table keeps the body byte-identical to the offline
+            # client path.
+            payload = execute_request(request.payload)
+            if payload["status"] != "ok":
+                self.metrics.count("errors")
+                return {
+                    "id": request_id, "status": "error",
+                    "kind": request.kind, "key": request.key,
+                    "error": dict(payload["error"]),
+                }
+            body = payload["body"]
+            self.cache.put(request.key, request.kind, body)
+            self.metrics.count("static_answers")
+            if self.calibration.should_sample():
+                task = asyncio.create_task(
+                    self._calibrate(request, body)
+                )
+                self._flights.add(task)
+                task.add_done_callback(self._flights.discard)
+            return envelope_ok(body, "computed")
 
         leader = self.singleflight.leader(request.key)
         rejection = self.admission.admit(client_id, leader)
@@ -480,6 +531,44 @@ class AnalysisServer:
             self._active -= 1
             self.admission.release(client_id, leader)
             self._maybe_set_drained()
+
+    async def _calibrate(self, request: Request,
+                         static_body: dict) -> None:
+        """Replay a sampled ``advise`` request exactly (worker pool).
+
+        Runs as a tracked flight so graceful drain waits for it; any
+        failure only costs this one calibration point, never the
+        request (which was already answered).
+        """
+        run_payload: dict = {
+            "kind": "run",
+            "kernel": request.payload["kernel"],
+            "options": request.payload.get("options") or {},
+        }
+        for name in ("no_fastpath", "max_cycles", "n"):
+            if request.payload.get(name) is not None:
+                run_payload[name] = request.payload[name]
+        try:
+            payload = await asyncio.to_thread(
+                self.pool.run, execute_request, run_payload,
+                key=f"calibrate:{request.key}",
+                timeout=self.config.job_timeout_s,
+            )
+        except BaseException:
+            self.metrics.count("calibration_failures")
+            return
+        if payload["status"] != "ok":
+            self.metrics.count("calibration_failures")
+            return
+        verdict = self.calibration.judge(
+            request.payload["kernel"], request.key, static_body,
+            payload["body"]["metrics"],
+        )
+        self.metrics.count("calibrations")
+        if verdict.action == "flagged":
+            self.metrics.count("calibration_flags")
+        elif verdict.action == "widened":
+            self.metrics.count("calibration_widenings")
 
     async def _compute_flight(self, request: Request,
                               key: str) -> None:

@@ -50,6 +50,13 @@ def clear_caches() -> None:
 
     ax._AX_CACHE.clear()
     clear_analysis_cache()
+    # The static-prediction memo keys on (kernel, options, config) but
+    # a forked worker or long-lived service process must still start
+    # cold: a stale static answer is indistinguishable from a fresh
+    # one downstream, so it is dropped with everything else.
+    statictier = sys.modules.get("repro.model.statictier")
+    if statictier is not None:
+        statictier.clear_static_cache()
     telemetry.reset()
     # The analysis service's result caches participate too, but only
     # when the service module was ever imported (keep cold starts cold).

@@ -122,6 +122,51 @@ class TestVLChecks:
         assert len(found) == 1
         assert found[0].severity is Severity.WARNING
 
+    def _chained_block(self, first_vl, second_vl):
+        b = AsmBuilder("revl")
+        x = b.data("x", 256)
+        b.mov(Immediate(0), areg(0))
+        b.set_vl(Immediate(first_vl))
+        b.vload(b.mem(x, areg(0)), vreg(0))
+        b.set_vl(Immediate(second_vl))
+        b.vstore(vreg(0), b.mem(x, areg(0)))
+        return b.build()
+
+    def test_redundant_vl_resetup_warns(self):
+        found = findings_for(self._chained_block(4, 4), "vl-redundant")
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert "re-asserts" in found[0].message
+
+    def test_changed_vl_is_not_redundant(self):
+        found = findings_for(self._chained_block(4, 8), "vl-redundant")
+        assert found == []
+
+    def test_asserting_the_reset_value_is_not_redundant(self):
+        # The first explicit VL write is the *fix* for vl-reset-read,
+        # even when it matches the architectural reset value.
+        b = AsmBuilder("assert-reset")
+        x = b.data("x", 256)
+        b.mov(Immediate(0), areg(0))
+        b.set_vl(Immediate(128))
+        b.vload(b.mem(x, areg(0)), vreg(0))
+        assert findings_for(b.build(), "vl-redundant") == []
+
+    def test_scalar_only_block_is_exempt(self):
+        b = AsmBuilder("scalar-only")
+        b.mov(Immediate(0), areg(0))
+        b.set_vl(Immediate(4))
+        b.set_vl(Immediate(4))
+        b.mov(Immediate(1), areg(1))
+        assert findings_for(b.build(), "vl-redundant") == []
+
+    def test_compiled_kernels_have_no_redundant_vl(self):
+        from repro.workloads import ALL_WORKLOADS, compile_spec
+
+        for spec in ALL_WORKLOADS:
+            program = compile_spec(spec).program
+            assert findings_for(program, "vl-redundant") == []
+
 
 class TestSchedule:
     def test_vector_mov_is_rejected(self):

@@ -178,5 +178,16 @@ class TestSingleCpuMatchesPlainSimulator:
             program, mix=mix, load_average=load, initial_data=data,
         )
         assert comparison.single.cycles == plain.cycles
-        # And the loaded leg is never *faster* than the idle machine.
-        assert comparison.loaded.cycles >= comparison.single.cycles
+        # Stretching the stream rate shifts where vector blocks land
+        # relative to refresh windows, so under refresh the loaded leg
+        # can dodge a stall the idle leg paid — alignment noise, not
+        # contention speedup.  Monotonicity is only exact with refresh
+        # off; with it on, allow one refresh window of jitter.
+        assert comparison.loaded.cycles >= (
+            comparison.single.cycles - DEFAULT_CONFIG.refresh_duration
+        )
+        no_refresh = run_under_contention(
+            program, mix=mix, load_average=load,
+            config=DEFAULT_CONFIG.without_refresh(), initial_data=data,
+        )
+        assert no_refresh.loaded.cycles >= no_refresh.single.cycles
