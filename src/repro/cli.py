@@ -14,6 +14,9 @@ Subcommands::
     macs-repro --chaos plan.json sweep   # run under fault injection
     macs-repro serve --socket /tmp/m.s   # batching analysis server
     macs-repro request bound --kernel lfk1 --endpoint unix:/tmp/m.s
+    macs-repro fleet record --out b.ndjson --frames 200  # Zipf burst
+    macs-repro fleet replay --replicas 3 --jobs 4  # sharded replay
+                                         # + byte-identity gate
 
 Exit codes map the error taxonomy (see ``docs/sweep.md`` and
 ``docs/robustness.md``): 0 success, 1 findings (lint errors, failed
@@ -477,6 +480,9 @@ def _cmd_serve(args) -> int:
         retries=args.retries,
         calibrate_every=args.calibrate_every,
         ledger_path=args.ledger,
+        shard_id=args.shard_id,
+        l2_path=args.l2,
+        lease_ttl_s=args.lease_ttl,
         **(
             {"agreement_gate": args.agreement_gate}
             if args.agreement_gate is not None else {}
@@ -576,6 +582,92 @@ def _cmd_request(args) -> int:
     else:
         print(response.render())
     return response.exit_code
+
+
+def _cmd_fleet(args) -> int:
+    """The replica fleet and its traffic-replay harness."""
+    import tempfile
+
+    from .fleet import replay as traffic
+    from .fleet.fabric import Fleet
+    from .resilience.store import atomic_write_text
+
+    if args.fleet_command == "record":
+        frames = traffic.make_zipf_frames(
+            args.frames, args.seed, s=args.skew
+        )
+        traffic.record_burst(args.out, frames)
+        print(f"recorded {len(frames)} frames -> {args.out}")
+        return 0
+
+    # fleet replay
+    if args.burst is not None:
+        frames = traffic.load_burst(args.burst)
+    else:
+        frames = traffic.make_zipf_frames(
+            args.frames, args.seed, s=args.skew
+        )
+    with tempfile.TemporaryDirectory(prefix="macs-fleet-") as tmp:
+        root = args.root if args.root is not None else tmp
+        fleet = Fleet(
+            root, args.replicas, mode=args.mode,
+            workers=args.workers,
+        ).start()
+        try:
+            report = traffic.replay_frames(
+                frames, fleet.client, jobs=args.jobs
+            )
+            shards = fleet.fleet_metrics()
+        finally:
+            fleet.stop()
+
+    print(
+        f"replayed {report.frames} frames on {args.replicas} "
+        f"replica(s) x {report.jobs} lane(s): "
+        f"{report.elapsed_s:.3f}s "
+        f"({report.throughput_rps:.0f} req/s)"
+    )
+    origins = ", ".join(
+        f"{name}={count}"
+        for name, count in sorted(report.origin_counts().items())
+    )
+    print(f"  origins: {origins}")
+    for name in sorted(shards):
+        counters = shards[name].get("shards", {}).get(name, {})
+        line = ", ".join(
+            f"{key}={value}"
+            for key, value in sorted(counters.items())
+        )
+        print(f"  {name}: {line or 'idle'}")
+    if report.errors:
+        print(f"  transport failures: {len(report.errors)}")
+
+    if args.out is not None:
+        atomic_write_text(args.out, "\n".join(report.bodies) + "\n")
+        print(f"  bodies -> {args.out}")
+
+    if args.no_verify:
+        return 0
+    mismatches = traffic.verify_replay(frames, report)
+    if mismatches:
+        print(
+            f"BYTE-IDENTITY FAILED: {len(mismatches)} of "
+            f"{report.frames} bodies diverge from the offline "
+            "oracle",
+            file=sys.stderr,
+        )
+        first = mismatches[0]
+        print(
+            f"  first: frame {first['frame']} "
+            f"({first['request']}) status={first['status']}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"  byte-identity: OK ({report.frames} bodies match the "
+        "offline oracle)"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -797,6 +889,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative cycle-error gate for static predictions "
         "(default 0.01)",
     )
+    serve_cmd.add_argument(
+        "--shard-id", default=None, metavar="NAME",
+        help="this replica's name in a fleet; labels per-shard "
+        "metrics and L2 leases (default: not part of a fleet)",
+    )
+    serve_cmd.add_argument(
+        "--l2", default=None, metavar="DIR",
+        help="shared fleet L2 result-store directory "
+        "(default: per-replica L1 only)",
+    )
+    serve_cmd.add_argument(
+        "--lease-ttl", type=float, default=5.0, metavar="SECONDS",
+        help="shard-owner lease TTL for fleet-wide single-flight "
+        "(default 5)",
+    )
+
+    fleet_cmd = sub.add_parser(
+        "fleet",
+        help="run a sharded replica fleet and the deterministic "
+        "traffic-replay harness",
+    )
+    fleet_sub = fleet_cmd.add_subparsers(
+        dest="fleet_command", required=True
+    )
+    fleet_record = fleet_sub.add_parser(
+        "record",
+        help="record a deterministic Zipf-skewed burst as NDJSON",
+    )
+    fleet_record.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="NDJSON corpus destination",
+    )
+    fleet_replay_cmd = fleet_sub.add_parser(
+        "replay",
+        help="spin up N replicas, replay a burst, and byte-compare "
+        "every body against the serverless oracle",
+    )
+    fleet_replay_cmd.add_argument(
+        "--burst", default=None, metavar="PATH",
+        help="recorded NDJSON corpus (default: generate from "
+        "--frames/--seed)",
+    )
+    fleet_replay_cmd.add_argument(
+        "--replicas", type=int, default=3, metavar="N",
+        help="replica count (default 3)",
+    )
+    fleet_replay_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="concurrent client lanes (default 1)",
+    )
+    fleet_replay_cmd.add_argument(
+        "--mode", choices=("thread", "process"), default="thread",
+        help="replica isolation: in-process threads (default) or "
+        "real server subprocesses",
+    )
+    fleet_replay_cmd.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes per replica (default 1)",
+    )
+    fleet_replay_cmd.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="fleet runtime directory: sockets + shared L2 "
+        "(default: a temporary directory)",
+    )
+    fleet_replay_cmd.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write one canonical body per line (byte-comparable "
+        "across runs, replica counts, and --jobs)",
+    )
+    fleet_replay_cmd.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the offline byte-identity oracle (timing runs)",
+    )
+    for command in (fleet_record, fleet_replay_cmd):
+        command.add_argument(
+            "--frames", type=int, default=200, metavar="N",
+            help="generated burst length (default 200)",
+        )
+        command.add_argument(
+            "--seed", type=int, default=1993, metavar="SEED",
+            help="burst generator seed (default 1993)",
+        )
+        command.add_argument(
+            "--skew", type=float, default=1.1, metavar="S",
+            help="Zipf exponent for key popularity (default 1.1)",
+        )
 
     request_cmd = sub.add_parser(
         "request",
@@ -901,6 +1079,7 @@ def main(argv: list[str] | None = None) -> int:
         "fsck": _cmd_fsck,
         "serve": _cmd_serve,
         "request": _cmd_request,
+        "fleet": _cmd_fleet,
     }
     try:
         if args.chaos:

@@ -71,7 +71,7 @@ from ..errors import ExperimentError
 _SITES_HINT = (
     "store.append, store.atomic_write, trace.write, fastpath.engage, "
     "sentinel.fast_cycles, clock, worker, service.accept, "
-    "service.cache_write"
+    "service.cache_write, fleet.replica, fleet.l2_write"
 )
 _KINDS = ("io-error", "torn-write", "skew", "raise", "exit", "hang")
 _WORKER_KINDS = ("raise", "exit", "hang")

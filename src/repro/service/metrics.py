@@ -32,16 +32,47 @@ def quantile(sorted_values: list[float], q: float) -> float:
 
 
 class ServiceMetrics:
-    """Process-lifetime service counters and latency reservoirs."""
+    """Process-lifetime service counters and latency reservoirs.
 
-    def __init__(self, reservoir: int = 512):
+    ``shard`` names the replica this process serves in a fleet (its
+    shard id); :meth:`count_shard` records counters under that label
+    so fleet-wide aggregation can tell replicas apart.  A non-fleet
+    server has no shard and no ``shards`` section in its snapshot.
+    """
+
+    def __init__(self, reservoir: int = 512,
+                 shard: str | None = None):
         self.started = time.monotonic()
+        self.shard = shard
         self.counters: Counter = Counter()
+        #: (shard label, counter name) -> count
+        self.shard_counters: Counter = Counter()
         self._latency_ms: dict[str, deque] = {}
         self._reservoir = reservoir
 
     def count(self, name: str, value: int = 1) -> None:
         self.counters[name] += value
+
+    def count_shard(self, name: str, value: int = 1,
+                    shard: str | None = None) -> None:
+        """Record a labelled counter for one shard.
+
+        ``shard`` defaults to this process's own shard id; passing an
+        explicit label lets a client-side aggregator (the fleet
+        client's per-owner accounting) reuse the same structure.
+        """
+        label = shard if shard is not None else self.shard
+        if label is None:
+            return  # not part of a fleet: no per-shard dimension
+        self.shard_counters[(label, name)] += value
+
+    def shard_summary(self) -> dict:
+        """shard label -> {counter: value}, deterministically sorted."""
+        summary: dict[str, dict[str, int]] = {}
+        for (label, name), value in sorted(
+                self.shard_counters.items()):
+            summary.setdefault(label, {})[name] = value
+        return summary
 
     def observe(self, kind: str, elapsed_ms: float) -> None:
         """Record one request's latency under its kind."""
@@ -80,7 +111,7 @@ class ServiceMetrics:
             for name, count in sorted(self.counters.items())
             if name.startswith("requests:")
         }
-        return {
+        body = {
             "uptime_s": round(self.uptime_s, 3),
             "draining": draining,
             "queue_depth": queue_depth,
@@ -110,3 +141,7 @@ class ServiceMetrics:
             "cache": dict(cache_stats or {}),
             "latency_ms": self.latency_summary(),
         }
+        if self.shard is not None or self.shard_counters:
+            body["shard"] = self.shard
+            body["shards"] = self.shard_summary()
+        return body

@@ -125,6 +125,16 @@ class ServiceConfig:
     ledger_path: str | None = None
     #: relative cycle-bound error gate for static predictions
     agreement_gate: float = DEFAULT_AGREEMENT_GATE
+    #: this replica's name in a fleet (None = not part of a fleet);
+    #: labels the per-shard metrics dimension and the L2 leases
+    shard_id: str | None = None
+    #: shared L2 result-store directory (None = L1 only)
+    l2_path: str | None = None
+    #: shard-owner lease TTL: how long other replicas wait on this
+    #: one's in-flight computation before computing themselves
+    lease_ttl_s: float = 5.0
+    #: poll interval while following another replica's lease
+    lease_poll_s: float = 0.02
 
     def __post_init__(self):
         if self.socket_path is None and self.host is None:
@@ -139,10 +149,18 @@ class AnalysisServer:
 
     def __init__(self, config: ServiceConfig):
         self.config = config
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(shard=config.shard_id)
         self.cache = ResultCache(
             max_entries=config.cache_max, path=config.cache_path
         )
+        if config.l2_path is not None:
+            from ..fleet.store import SharedL2Store
+
+            self.l2: SharedL2Store | None = SharedL2Store(
+                config.l2_path
+            )
+        else:
+            self.l2 = None
         self.admission = AdmissionController(
             queue_limit=config.queue_limit,
             client_limit=config.client_limit,
@@ -214,6 +232,33 @@ class AnalysisServer:
                 os.close(fd)
             except OSError:
                 pass
+
+    def partition(self) -> None:
+        """Abruptly sever this replica from the network (chaos drill).
+
+        Unlike a graceful drain, every live connection is **aborted**
+        mid-whatever (RST, not FIN-after-response) and the listeners
+        close immediately — exactly what a killed or partitioned
+        replica looks like to its clients.  Must run on this server's
+        own event loop (schedule via ``loop.call_soon_threadsafe``
+        from other threads): transports are not thread-safe.
+
+        Internally the replica still winds down cleanly afterwards —
+        in-flight computations finish into the caches and the worker
+        pool is shut down by ``wait_drained`` — so a partitioned
+        thread-mode replica never leaks worker processes.
+        """
+        self.draining = True
+        for server in self._servers:
+            server.close()
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                try:
+                    transport.abort()
+                except Exception:
+                    pass
+        self._maybe_set_drained()
 
     def request_drain(self) -> None:
         """Begin a graceful drain (signal handler / drain request)."""
@@ -402,6 +447,8 @@ class AnalysisServer:
                 worker_restarts=self.pool.restarts,
                 draining=self.draining,
             )
+            if self.l2 is not None:
+                body["l2"] = self.l2.stats()
         else:  # drain
             body = {"draining": True}
             asyncio.get_running_loop().call_soon(self.request_drain)
@@ -426,10 +473,20 @@ class AnalysisServer:
             }
 
         # Warm cache: answered without admission, queue, or pool.
+        # L1 is this replica's memory; L2 is the fleet's shared
+        # directory — an L2 hit is promoted into L1 on the way out.
         body = self.cache.get(request.key)
         if body is not None:
             self.metrics.count("cache_hits")
+            self.metrics.count_shard("l1_hits")
             return envelope_ok(body, "cache")
+        if self.l2 is not None:
+            body = self.l2.get(request.key)
+            if body is not None:
+                self.cache.put(request.key, request.kind, body)
+                self.metrics.count("cache_hits")
+                self.metrics.count_shard("l2_hits")
+                return envelope_ok(body, "cache")
 
         if self.draining:
             self.metrics.count("rejections")
@@ -454,7 +511,10 @@ class AnalysisServer:
                 }
             body = payload["body"]
             self.cache.put(request.key, request.kind, body)
+            if self.l2 is not None:
+                self.l2.put(request.key, request.kind, body)
             self.metrics.count("static_answers")
+            self.metrics.count_shard("static_answers")
             if self.calibration.should_sample():
                 task = asyncio.create_task(
                     self._calibrate(request, body)
@@ -487,6 +547,7 @@ class AnalysisServer:
             else:
                 flight = self.singleflight.join(request.key)
                 self.metrics.count("coalesced")
+                self.metrics.count_shard("coalesced")
                 origin = "coalesced"
             deadline_s = (
                 request.deadline_s
@@ -575,16 +636,81 @@ class AnalysisServer:
         """Leader-side computation: one pool job per content key."""
         try:
             payload = await asyncio.to_thread(
-                self.pool.run, execute_request, request.payload,
-                key=key, timeout=self.config.job_timeout_s,
+                self._compute_with_lease, request, key
             )
         except BaseException as exc:
             self.singleflight.finish(key, error=exc)
             return
         if payload["status"] == "ok":
-            self.metrics.count("computed")
             self.cache.put(key, request.kind, payload["body"])
         self.singleflight.finish(key, result=payload)
+
+    def _compute_with_lease(self, request: Request, key: str) -> dict:
+        """One flight's computation, coalesced fleet-wide.
+
+        Per-process single-flight already guarantees one pool job per
+        key *in this replica*; the shard-owner lease on the shared L2
+        extends that across the fleet.  The happy path (owner routing)
+        wins the lease trivially; a second replica computing the same
+        key concurrently — failover, or clients on different shard
+        maps — loses it and **follows** instead: it polls the L2 for
+        the winner's published body.  A dead or slow winner is bounded
+        by the lease TTL, after which the follower computes anyway —
+        correct either way, since bodies are deterministic.
+
+        Runs on a worker thread (``asyncio.to_thread``): the poll
+        sleeps never block the event loop.
+        """
+        if self.l2 is None:
+            payload = self.pool.run(
+                execute_request, request.payload,
+                key=key, timeout=self.config.job_timeout_s,
+            )
+            if payload["status"] == "ok":
+                self.metrics.count("computed")
+                self.metrics.count_shard("computed")
+            return payload
+        owner = self.config.shard_id or f"pid-{os.getpid()}"
+        if self.l2.acquire_lease(key, owner,
+                                 self.config.lease_ttl_s):
+            # Re-check the L2 under the lease: another replica may
+            # have published (and released) between our dispatch-time
+            # probe and this acquisition.
+            body = self.l2.get(key)
+            if body is not None:
+                self.l2.release_lease(key, owner)
+                self.metrics.count_shard("fleet_coalesced")
+                return {"status": "ok", "body": body}
+        else:
+            deadline = time.monotonic() + self.config.lease_ttl_s
+            while time.monotonic() < deadline:
+                body = self.l2.get(key)
+                if body is not None:
+                    self.metrics.count_shard("fleet_coalesced")
+                    return {"status": "ok", "body": body}
+                holder = self.l2.lease_holder(key)
+                if holder is None or \
+                        holder["expires"] <= time.time():
+                    break  # winner released or died resultless
+                time.sleep(self.config.lease_poll_s)
+            # Not published in time: compute it ourselves.  The
+            # duplicate work costs cycles, never bytes.
+            self.l2.acquire_lease(key, owner,
+                                  self.config.lease_ttl_s)
+        try:
+            payload = self.pool.run(
+                execute_request, request.payload,
+                key=key, timeout=self.config.job_timeout_s,
+            )
+            if payload["status"] == "ok":
+                self.metrics.count("computed")
+                self.metrics.count_shard("computed")
+                # Publish *before* releasing the lease so a follower
+                # never sees the lease vanish with no body to read.
+                self.l2.put(key, request.kind, payload["body"])
+        finally:
+            self.l2.release_lease(key, owner)
+        return payload
 
 
 # ----------------------------------------------------------------------

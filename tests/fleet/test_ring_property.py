@@ -1,0 +1,172 @@
+"""Property tests for the consistent-hash ring.
+
+The two properties the fleet's shard map must hold:
+
+* **balance** — at >= 64 virtual nodes, no replica owns more than
+  about twice its ideal share of a large random key population;
+* **minimal remap** — membership changes move *only* the arcs they
+  must: adding a replica moves keys exclusively *to* the newcomer,
+  removing one moves exclusively *its own* keys, and everything else
+  keeps its owner — across arbitrary random membership sequences.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ExperimentError
+from repro.fleet import DEFAULT_VNODES, HashRing, ring_position
+
+
+def keys_for(count, tag=""):
+    return [f"advise:{tag}{index:06d}" for index in range(count)]
+
+
+class TestConstruction:
+    def test_rejects_empty_membership(self):
+        with pytest.raises(ExperimentError):
+            HashRing([])
+
+    def test_rejects_duplicate_nodes(self):
+        with pytest.raises(ExperimentError):
+            HashRing(["a", "b", "a"])
+
+    def test_rejects_nonpositive_vnodes(self):
+        with pytest.raises(ExperimentError):
+            HashRing(["a"], vnodes=0)
+
+    def test_membership_order_is_irrelevant(self):
+        forward = HashRing(["a", "b", "c"])
+        backward = HashRing(["c", "b", "a"])
+        for key in keys_for(200):
+            assert forward.owner(key) == backward.owner(key)
+
+    def test_positions_are_stable(self):
+        assert ring_position("x") == ring_position("x")
+        assert ring_position("x") != ring_position("y")
+
+
+class TestOwners:
+    def test_first_owner_matches_owner(self):
+        ring = HashRing(["a", "b", "c"])
+        for key in keys_for(100):
+            assert ring.owners(key, 1) == [ring.owner(key)]
+
+    def test_owners_are_distinct_and_bounded(self):
+        ring = HashRing(["a", "b", "c"])
+        for key in keys_for(50):
+            successors = ring.owners(key, 3)
+            assert len(successors) == len(set(successors)) == 3
+            more = ring.owners(key, 99)
+            assert sorted(more) == ["a", "b", "c"]
+
+    def test_owners_rejects_nonpositive_count(self):
+        with pytest.raises(ExperimentError):
+            HashRing(["a"]).owners("k", 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    replicas=st.integers(2, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_balance_within_2x_of_ideal_at_default_vnodes(replicas, seed):
+    """Max per-replica load <= 2x ideal at >= 64 vnodes."""
+    assert DEFAULT_VNODES >= 64
+    ring = HashRing(
+        [f"replica-{seed}-{i}" for i in range(replicas)]
+    )
+    keys = keys_for(4000, tag=f"{seed}:")
+    load = ring.load(keys)
+    assert sum(load.values()) == len(keys)
+    ideal = len(keys) / replicas
+    assert max(load.values()) <= 2.0 * ideal, load
+    # Every replica owns *something* out of a large population.
+    assert min(load.values()) > 0, load
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    replicas=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_adding_a_replica_moves_keys_only_to_it(replicas, seed):
+    ring = HashRing([f"n{seed}-{i}" for i in range(replicas)])
+    grown = ring.add(f"n{seed}-new")
+    keys = keys_for(1500, tag=f"{seed}:")
+    before = ring.assignments(keys)
+    after = grown.assignments(keys)
+    moved = {k for k in keys if before[k] != after[k]}
+    # Minimal remap: every moved key moved TO the new replica, and
+    # the newcomer's keys are exactly the moved ones.
+    assert all(after[k] == f"n{seed}-new" for k in moved)
+    assert {k for k in keys
+            if after[k] == f"n{seed}-new"} == moved
+    # Roughly its fair share moved (loose: at most twice ideal).
+    assert len(moved) <= 2.0 * len(keys) / (replicas + 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    replicas=st.integers(2, 8),
+    victim=st.integers(0, 7),
+    seed=st.integers(0, 10_000),
+)
+def test_removing_a_replica_moves_only_its_keys(replicas, victim,
+                                                seed):
+    nodes = [f"n{seed}-{i}" for i in range(replicas)]
+    gone = nodes[victim % replicas]
+    ring = HashRing(nodes)
+    shrunk = ring.remove(gone)
+    keys = keys_for(1500, tag=f"{seed}:")
+    before = ring.assignments(keys)
+    after = shrunk.assignments(keys)
+    for key in keys:
+        if before[key] == gone:
+            assert after[key] != gone
+        else:
+            # Survivors keep every key they already owned.
+            assert after[key] == before[key]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    operations=st.lists(st.booleans(), min_size=1, max_size=12),
+)
+def test_random_membership_sequences_stay_minimal(seed, operations):
+    """add/remove churn: every step is a minimal remap step."""
+    ring = HashRing([f"m{seed}-0", f"m{seed}-1"])
+    keys = keys_for(600, tag=f"{seed}:")
+    counter = 1
+    for grow in operations:
+        if not grow and len(ring) <= 1:
+            grow = True
+        before = ring.assignments(keys)
+        if grow:
+            counter += 1
+            node = f"m{seed}-{counter}"
+            ring = ring.add(node)
+            after = ring.assignments(keys)
+            assert all(
+                after[k] == node
+                for k in keys if before[k] != after[k]
+            )
+        else:
+            node = ring.nodes[ring_position(str(counter))
+                              % len(ring)]
+            ring = ring.remove(node)
+            after = ring.assignments(keys)
+            assert all(
+                before[k] == node
+                for k in keys if before[k] != after[k]
+            )
+
+
+def test_add_and_remove_validate_membership():
+    ring = HashRing(["a", "b"])
+    with pytest.raises(ExperimentError):
+        ring.add("a")
+    with pytest.raises(ExperimentError):
+        ring.remove("zz")
+    assert "a" in ring and "zz" not in ring
+    assert len(ring.remove("a")) == 1

@@ -1,0 +1,141 @@
+"""Fleet-wide single-flight: N duplicates, one computation.
+
+Two layers prove it:
+
+* **owner routing** — every duplicate of a key routes to the same
+  replica, whose per-process single-flight collapses them: 3 clients
+  x 100 duplicate requests across 3 replicas must produce exactly one
+  worker computation, fleet-wide;
+* **shard-owner leases** — when routing *doesn't* protect a key (two
+  clients pinned to two different replicas ask for the same key
+  concurrently), the L2 lease does: the loser follows the winner's
+  published body instead of recomputing.
+"""
+
+import threading
+
+from repro.fleet.fabric import Fleet
+from repro.service.client import ServiceClient, offline_response
+
+CLIENTS = 3
+DUPLICATES = 100
+
+
+def shard_counter(metrics_body, shard, name):
+    return metrics_body.get("shards", {}).get(shard, {}).get(name, 0)
+
+
+class TestOwnerRouting:
+    def test_300_duplicates_one_worker_computation(self, tmp_path):
+        """3 clients x 100 duplicates x 3 replicas -> 1 job."""
+        fleet = Fleet(str(tmp_path), 3, mode="thread").start()
+        try:
+            results = [None] * CLIENTS
+            barrier = threading.Barrier(CLIENTS)
+
+            def storm(index):
+                client = fleet.client()
+                try:
+                    barrier.wait(timeout=30.0)
+                    results[index] = client.request_many(
+                        [("bound", {"kernel": "lfk8"})] * DUPLICATES
+                    )
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=storm, args=(i,))
+                for i in range(CLIENTS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+
+            oracle = offline_response(
+                "bound", {"kernel": "lfk8"}
+            ).canonical_text()
+            for responses in results:
+                assert responses is not None
+                assert len(responses) == DUPLICATES
+                for response in responses:
+                    assert response.ok
+                    assert response.canonical_text() == oracle
+
+            # The crux: one computation in the whole fleet.
+            computed = 0
+            jobs = 0
+            for name, replica in fleet.replicas.items():
+                body = fleet.metrics(name)
+                computed += body["computed"]
+                computed += shard_counter(
+                    body, name, "static_answers"
+                )
+                jobs += replica.thread.server.pool.jobs_submitted
+            assert computed == 1
+            assert jobs == 1
+            # Everything else was a cache hit or coalesced join on
+            # the one owner replica.
+            served = sum(
+                fleet.metrics(name)["cache_hits"]
+                + fleet.metrics(name)["coalesced"]
+                for name in fleet.replicas
+            )
+            assert served == CLIENTS * DUPLICATES - 1
+        finally:
+            fleet.stop()
+
+
+class TestShardOwnerLease:
+    def test_cross_replica_duplicates_coalesce_via_the_lease(
+            self, tmp_path):
+        """Two replicas, same key, at once: one computes, one follows."""
+        fleet = Fleet(
+            str(tmp_path), 2, mode="thread", lease_ttl_s=30.0
+        ).start()
+        try:
+            topology = fleet.topology()
+            bodies = {}
+            barrier = threading.Barrier(2)
+
+            def pinned(name):
+                # Straight to one replica: no ring routing involved,
+                # so only the lease can prevent a double compute.
+                with ServiceClient(topology[name],
+                                   timeout=60.0) as conn:
+                    barrier.wait(timeout=30.0)
+                    response = conn.request(
+                        "bound", {"kernel": "tridiag_rhs"}
+                    )
+                    assert response.ok, response.error
+                    bodies[name] = response.canonical_text()
+
+            threads = [
+                threading.Thread(target=pinned, args=(name,))
+                for name in topology
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+
+            assert len(set(bodies.values())) == 1
+            oracle = offline_response(
+                "bound", {"kernel": "tridiag_rhs"}
+            ).canonical_text()
+            assert set(bodies.values()) == {oracle}
+
+            computed, followed, l2_hits = 0, 0, 0
+            for name in topology:
+                body = fleet.metrics(name)
+                computed += body["computed"]
+                followed += shard_counter(
+                    body, name, "fleet_coalesced"
+                )
+                l2_hits += shard_counter(body, name, "l2_hits")
+            assert computed == 1
+            # The second replica either followed the lease or (if it
+            # arrived after publication) hit the shared L2 directly.
+            assert followed + l2_hits == 1
+        finally:
+            fleet.stop()

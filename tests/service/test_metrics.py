@@ -62,3 +62,48 @@ class TestServiceMetrics:
         assert snapshot["worker_restarts"] == 1
         assert snapshot["cache"]["entries"] == 4
         assert "latency_ms" in snapshot
+
+
+class TestShardCounters:
+    def test_unlabelled_metrics_have_no_shard_keys(self):
+        metrics = ServiceMetrics()
+        metrics.count_shard("l1_hits")  # no label: dropped
+        snapshot = metrics.snapshot(
+            queue_depth=0, in_flight=0, cache_stats={},
+            workers=1, worker_restarts=0, draining=False,
+        )
+        assert "shard" not in snapshot
+        assert "shards" not in snapshot
+
+    def test_shard_label_flows_into_the_snapshot(self):
+        metrics = ServiceMetrics(shard="replica-1")
+        metrics.count_shard("l1_hits", 3)
+        metrics.count_shard("l2_hits")
+        metrics.count_shard("computed", 2, shard="replica-9")
+        snapshot = metrics.snapshot(
+            queue_depth=0, in_flight=0, cache_stats={},
+            workers=1, worker_restarts=0, draining=False,
+        )
+        assert snapshot["shard"] == "replica-1"
+        assert snapshot["shards"]["replica-1"] == {
+            "l1_hits": 3, "l2_hits": 1
+        }
+        # An explicit shard label wins over the default.
+        assert snapshot["shards"]["replica-9"] == {"computed": 2}
+
+    def test_shard_summary_is_sorted_and_stable(self):
+        metrics = ServiceMetrics(shard="b")
+        metrics.count_shard("x", shard="b")
+        metrics.count_shard("x", shard="a")
+        summary = metrics.shard_summary()
+        assert list(summary) == ["a", "b"]
+        assert summary == metrics.shard_summary()
+
+    def test_labelled_shard_snapshot_even_without_counts(self):
+        metrics = ServiceMetrics(shard="replica-0")
+        snapshot = metrics.snapshot(
+            queue_depth=0, in_flight=0, cache_stats={},
+            workers=1, worker_restarts=0, draining=False,
+        )
+        assert snapshot["shard"] == "replica-0"
+        assert snapshot["shards"] == {}

@@ -321,3 +321,41 @@ class TestRequestCommand:
             assert served == offline
         finally:
             thread.stop()
+
+
+class TestFleetCommand:
+    def test_record_then_replay_byte_identical(self, capsys,
+                                               tmp_path):
+        burst = str(tmp_path / "burst.ndjson")
+        assert main(
+            ["fleet", "record", "--out", burst,
+             "--frames", "12", "--seed", "42"]
+        ) == 0
+        assert "recorded 12 frames" in capsys.readouterr().out
+        bodies = str(tmp_path / "bodies.txt")
+        assert main(
+            ["fleet", "replay", "--burst", burst,
+             "--replicas", "2", "--jobs", "2",
+             "--out", bodies]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replayed 12 frames on 2 replica(s)" in out
+        assert "byte-identity: OK" in out
+        with open(bodies, encoding="utf-8") as handle:
+            assert len(handle.read().splitlines()) == 12
+
+    def test_replay_generates_when_no_burst_given(self, capsys):
+        assert main(
+            ["fleet", "replay", "--replicas", "1",
+             "--frames", "6", "--seed", "7", "--no-verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replayed 6 frames on 1 replica(s)" in out
+        assert "byte-identity" not in out
+
+    def test_replay_rejects_missing_burst_file(self, capsys,
+                                               tmp_path):
+        assert main(
+            ["fleet", "replay",
+             "--burst", str(tmp_path / "nope.ndjson")]
+        ) != 0
