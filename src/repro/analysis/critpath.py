@@ -21,6 +21,7 @@ from ..schedule.chimes import (
     ChimePartition,
     ChimeRules,
     DEFAULT_RULES,
+    REFRESH_FACTOR,
     partition_chimes,
 )
 from .cfg import CFG
@@ -122,6 +123,8 @@ def critical_path(
     rules: ChimeRules = DEFAULT_RULES,
     timings: TimingTable | None = None,
     max_vl: int = VECTOR_REGISTER_LENGTH,
+    refresh: bool = True,
+    refresh_factor: float = REFRESH_FACTOR,
 ) -> CriticalPath:
     """Chime partition + binding-pipe analysis of the strip loop.
 
@@ -144,7 +147,9 @@ def critical_path(
     body = [cfg.program[pc] for pc in cfg.loop_pcs(strip.loop)]
     partition = partition_chimes(body, rules)
     costs = _chime_costs(partition, timings, max_vl)
-    per_strip = partition.total_cycles(max_vl, timings)
+    per_strip = partition.total_cycles(
+        max_vl, timings, refresh, rules.chaining, refresh_factor
+    )
 
     estimated: float | None = None
     per_iteration: float | None = None
@@ -156,7 +161,9 @@ def critical_path(
             iterations += remaining
             while remaining > 0:
                 vl = min(remaining, max_vl)
-                estimated += partition.total_cycles(vl, timings)
+                estimated += partition.total_cycles(
+                    vl, timings, refresh, rules.chaining, refresh_factor
+                )
                 remaining -= strip.step
         if iterations:
             per_iteration = estimated / iterations

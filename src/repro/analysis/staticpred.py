@@ -98,6 +98,7 @@ from ..machine.semantics import (
 )
 from ..resilience import faults as _faults
 from ..resilience import watchdog
+from ..schedule.chimes import ChimeRules, refresh_factor_for
 
 #: Mirror of the simulator's runaway guard.
 DEFAULT_MAX_INSTRUCTIONS = 5_000_000
@@ -710,8 +711,11 @@ def _model_tier(
         analysis.cfg,
         analysis.dataflow,
         trips,
+        rules=ChimeRules.for_machine(config),
         timings=config.timings,
         max_vl=config.max_vl,
+        refresh=config.refresh_enabled,
+        refresh_factor=refresh_factor_for(config),
     )
     bound = path.estimated_cycles
     if bound is None or bound <= 0:

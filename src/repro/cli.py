@@ -9,7 +9,12 @@ Subcommands::
     macs-repro compile lfk8              # show generated assembly
     macs-repro lint lfk1                 # static dataflow lint
     macs-repro run lfk3                  # simulate and report cycles
+    macs-repro run lfk3 --machine c210   # ... on another machine
+    macs-repro machines list             # shipped machine family
+    macs-repro machines validate m.toml  # schema-check machine files
+    macs-repro experiment rank --machine all  # rank the family
     macs-repro sweep --jobs 4            # parallel workload x option grid
+    macs-repro sweep --machine all lfk1  # add a machine axis
     macs-repro fsck sweep.ckpt           # integrity-scan an artifact log
     macs-repro --chaos plan.json sweep   # run under fault injection
     macs-repro serve --socket /tmp/m.s   # batching analysis server
@@ -95,8 +100,40 @@ def _apply_sweep_flags(args) -> None:
     set_sweep_defaults(jobs=getattr(args, "jobs", None), trace=trace)
 
 
+def _machine_description(args):
+    """Resolve --machine (builtin name or file path), or None."""
+    name = getattr(args, "machine", None)
+    if name is None:
+        return None
+    from .machines import machine
+
+    return machine(name)
+
+
 def _cmd_experiment(args) -> int:
     _apply_sweep_flags(args)
+    if args.machine is not None or args.kernels is not None:
+        # Only the rank experiment is parameterized by machine/kernels.
+        if args.name != "rank":
+            print(
+                "error: --machine/--kernels only apply to "
+                "'experiment rank'",
+                file=sys.stderr,
+            )
+            return 2
+        from .experiments.rank import run_rank
+
+        kernels = None
+        if args.kernels is not None:
+            kernels = tuple(
+                k.strip() for k in args.kernels.split(",") if k.strip()
+            )
+            for name in kernels:
+                workload(name)  # fail fast on unknown workloads
+        print(run_rank(
+            machines=args.machine or "all", kernels=kernels
+        ).render())
+        return 0
     if args.name == "all":
         for name, run in EXPERIMENTS.items():
             print(run().render())
@@ -115,7 +152,21 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    analysis = analyze_kernel(args.kernel)
+    description = _machine_description(args)
+    if description is None:
+        analysis = analyze_kernel(args.kernel)
+    else:
+        from .compiler import DEFAULT_OPTIONS
+        from .machines import tuned_options
+
+        print(f"machine: {description.name} ({description.summary()})")
+        analysis = analyze_kernel(
+            args.kernel,
+            options=tuned_options(
+                DEFAULT_OPTIONS, description.config
+            ),
+            config=description.config,
+        )
     print(analysis.report())
     return 0
 
@@ -335,18 +386,40 @@ def _cmd_sweep(args) -> int:
                 )
                 return 2
             variants[name] = OPTION_VARIANTS[name]
-    config = DEFAULT_CONFIG
-    if args.no_fastpath:
-        config = config.without_fastpath()
-    if args.max_cycles is not None:
-        config = config.with_cycle_budget(args.max_cycles)
+    if args.machine is not None:
+        from .machines import resolve_machines
+
+        base_configs = {
+            d.name: d.config for d in resolve_machines(args.machine)
+        }
+    else:
+        base_configs = {"base": DEFAULT_CONFIG}
+    configs = {}
+    for tag, config in base_configs.items():
+        if args.no_fastpath:
+            config = config.without_fastpath()
+        if args.max_cycles is not None:
+            config = config.with_cycle_budget(args.max_cycles)
+        configs[tag] = config
     names = tuple(args.kernels) if args.kernels else workload_names()
     for name in names:
         workload(name)  # fail fast on unknown workloads
-    spec = SweepSpec.build(names, variants=variants,
-                           configs={"base": config})
+    spec = SweepSpec.build(names, variants=variants, configs=configs)
+    tasks: object = spec
+    if args.machine is not None:
+        # Clamp each cell's strip-mine length to its machine's max VL
+        # (the options are part of the task key, so cells stay
+        # machine-scoped in caches and checkpoints).
+        import dataclasses as _dc
+
+        from .machines import tuned_options
+
+        tasks = [
+            _dc.replace(t, options=tuned_options(t.options, t.config))
+            for t in spec.expand()
+        ]
     result = run_sweep(
-        spec,
+        tasks,
         jobs=args.jobs,
         timeout=args.timeout,
         retries=args.retries,
@@ -385,9 +458,18 @@ def _cmd_run(args) -> int:
             file=sys.stderr,
         )
         return 2
-    config = DEFAULT_CONFIG
+    from .compiler import DEFAULT_OPTIONS
+
+    description = _machine_description(args)
+    config = DEFAULT_CONFIG if description is None \
+        else description.config
     if args.no_fastpath:
         config = config.without_fastpath()
+    options = DEFAULT_OPTIONS
+    if description is not None:
+        from .machines import tuned_options
+
+        options = tuned_options(options, config)
     spec = kernel(args.kernel)
     if args.lint:
         from .analysis import Severity
@@ -408,19 +490,23 @@ def _cmd_run(args) -> int:
     if args.profile:
         clear_caches()
         t0 = time.perf_counter()
-        compiled = compile_spec(spec)
+        compiled = compile_spec(spec, options)
         t1 = time.perf_counter()
         run = run_kernel(
-            spec, config=config, compiled=compiled,
+            spec, options, config=config, compiled=compiled,
             verify=not args.no_verify,
         )
         t2 = time.perf_counter()
         macs_bound(compiled.program)
         t3 = time.perf_counter()
     else:
-        run = run_kernel(spec, config=config, verify=not args.no_verify)
+        run = run_kernel(spec, options, config=config,
+                         verify=not args.no_verify)
     result = run.result
     print(f"kernel          : {run.spec.name} ({run.spec.title})")
+    if description is not None:
+        print(f"machine         : {description.name} "
+              f"({description.summary()})")
     print(f"cycles          : {result.cycles:.0f}")
     print(f"instructions    : {result.instructions_executed}")
     print(f"vector ops      : {result.vector_instructions}")
@@ -538,6 +624,8 @@ def _cmd_request(args) -> int:
         params["options"] = args.options
     if args.n is not None:
         params["n"] = args.n
+    if args.machine is not None:
+        params["machine"] = args.machine
     if args.no_fastpath:
         params["no_fastpath"] = True
     if args.max_cycles is not None:
@@ -582,6 +670,53 @@ def _cmd_request(args) -> int:
     else:
         print(response.render())
     return response.exit_code
+
+
+def _cmd_machines(args) -> int:
+    """List, validate, or show declarative machine descriptions."""
+    from .errors import MachineFileError
+    from .machines import (
+        builtin_machine,
+        builtin_names,
+        load_machine_file,
+    )
+
+    if args.machines_command == "list":
+        from .experiments.formatting import TextTable
+
+        table = TextTable(["name", "digest", "summary"])
+        for name in builtin_names():
+            description = builtin_machine(name)
+            table.add_row(
+                name, description.digest, description.summary()
+            )
+        print(table.render())
+        return 0
+
+    # machines validate [paths...]
+    failures = 0
+    if args.paths:
+        targets = [(p, lambda p=p: load_machine_file(p))
+                   for p in args.paths]
+    else:
+        targets = [(n, lambda n=n: builtin_machine(n))
+                   for n in builtin_names()]
+    for label, load in targets:
+        try:
+            description = load()
+        except MachineFileError as exc:
+            print(f"FAIL {label}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(
+            f"ok   {label}: {description.name} "
+            f"[{description.digest}] {description.summary()}"
+        )
+    if failures:
+        print(f"{failures} machine file(s) failed validation",
+              file=sys.stderr)
+        return EXIT_FINDINGS
+    return EXIT_OK
 
 
 def _cmd_fleet(args) -> int:
@@ -697,16 +832,50 @@ def build_parser() -> argparse.ArgumentParser:
             help="write a JSONL telemetry trace to PATH",
         )
 
+    def add_machine_flag(command) -> None:
+        command.add_argument(
+            "--machine", default=None, metavar="NAME|PATH",
+            help="target machine: a built-in name (see 'machines "
+            "list'), a machine-file path, a comma list, or 'all' "
+            "where an axis makes sense (default: the C-240)",
+        )
+
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure"
     )
     experiment.add_argument("name", help="experiment name, or 'all'")
     add_parallel_flags(experiment)
+    add_machine_flag(experiment)
+    experiment.add_argument(
+        "--kernels", default=None, metavar="NAMES",
+        help="comma-separated kernel set ('experiment rank' only)",
+    )
 
     analyze = sub.add_parser(
         "analyze", help="full MACS hierarchy for one kernel"
     )
     analyze.add_argument("kernel")
+    add_machine_flag(analyze)
+
+    machines_cmd = sub.add_parser(
+        "machines",
+        help="list or validate declarative machine descriptions",
+    )
+    machines_sub = machines_cmd.add_subparsers(
+        dest="machines_command", required=True
+    )
+    machines_sub.add_parser(
+        "list", help="table of built-in machines with content digests"
+    )
+    machines_validate = machines_sub.add_parser(
+        "validate",
+        help="parse + schema-check machine files (default: every "
+        "built-in)",
+    )
+    machines_validate.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="machine files to validate (default: the shipped family)",
+    )
 
     compile_cmd = sub.add_parser(
         "compile", help="show a kernel's generated assembly"
@@ -807,6 +976,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the fastpath divergence cross-check on one "
         "sampled cell",
     )
+    add_machine_flag(sweep_cmd)
 
     fsck_cmd = sub.add_parser(
         "fsck",
@@ -1020,6 +1190,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="problem-size shorthand",
     )
     request_cmd.add_argument(
+        "--machine", default=None, metavar="NAME",
+        help="target machine by built-in name (names only over the "
+        "wire; the server resolves them against its own registry)",
+    )
+    request_cmd.add_argument(
         "--no-fastpath", action="store_true",
         help="disable the steady-state fast path for this request",
     )
@@ -1058,6 +1233,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="report per-phase wall time and fast-path statistics",
     )
+    add_machine_flag(run_cmd)
     return parser
 
 
@@ -1076,6 +1252,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "machines": _cmd_machines,
         "fsck": _cmd_fsck,
         "serve": _cmd_serve,
         "request": _cmd_request,

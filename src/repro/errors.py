@@ -54,6 +54,22 @@ class SimulationError(MachineError):
     """Raised when the simulator encounters an unexecutable program."""
 
 
+class MachineFileError(MachineError):
+    """Raised when a declarative machine-description file is malformed.
+
+    Attributes
+    ----------
+    source:
+        The file path (or ``"<inline>"``) the error is tied to.
+    """
+
+    def __init__(self, message: str, source: str | None = None):
+        self.source = source
+        if source is not None:
+            message = f"{source}: {message}"
+        super().__init__(message)
+
+
 class MemoryError_(MachineError):
     """Raised for invalid memory-system configuration or access.
 

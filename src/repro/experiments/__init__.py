@@ -30,6 +30,7 @@ from .extensions import (
     run_extension_short_vectors,
 )
 from .figure1 import run_figure1
+from .rank import run_rank
 from .report import generate_report, write_report
 from .staticsummary import run_static_summary
 from .statictier import run_static_tier
@@ -61,6 +62,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "extension-short-vectors": run_extension_short_vectors,
     "extension-dbound": run_extension_dbound,
     "advisor": run_advisor,
+    "rank": run_rank,
     "static-summary": run_static_summary,
     "static-tier": run_static_tier,
     "ablation-bubbles": run_ablation_bubbles,
@@ -92,6 +94,7 @@ __all__ = [
     "run_contention",
     "run_extension_dbound",
     "run_extension_short_vectors",
+    "run_rank",
     "run_static_summary",
     "run_static_tier",
     "generate_report",

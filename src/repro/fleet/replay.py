@@ -65,24 +65,34 @@ def _frame_viable(kind: str, params: dict) -> bool:
 
 
 def make_population(kinds=DEFAULT_KINDS, kernels=None,
-                    variants=DEFAULT_VARIANTS) -> list[dict]:
+                    variants=DEFAULT_VARIANTS,
+                    machines=None) -> list[dict]:
     """The distinct request frames a burst draws from.
 
-    The kinds x kernels x variants cross product, restricted to the
-    combinations the offline engine actually serves — unservable
-    pairs (e.g. a variant that starves a kernel of registers) are
-    filtered out, once, with the verdict memoised per content key.
+    The kinds x kernels x variants [x machines] cross product,
+    restricted to the combinations the offline engine actually serves
+    — unservable pairs (e.g. a variant that starves a kernel of
+    registers) are filtered out, once, with the verdict memoised per
+    content key.  ``machines`` is an optional list of built-in machine
+    names; ``None`` keeps the machine axis out of the population
+    (every frame targets the default C-240).
     """
     if kernels is None:
         from ..workloads import workload_names
 
         kernels = workload_names()
+    machine_axis: list[str | None] = (
+        [None] if machines is None else list(machines)
+    )
     population = [
-        {"kind": kind, "params": {"kernel": kernel,
-                                  "variant": variant}}
+        {"kind": kind,
+         "params": {"kernel": kernel, "variant": variant,
+                    **({} if machine is None
+                       else {"machine": machine})}}
         for kind in kinds
         for kernel in kernels
         for variant in variants
+        for machine in machine_axis
     ]
     population = [
         frame for frame in population

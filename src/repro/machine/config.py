@@ -29,8 +29,13 @@ class MachineConfig:
 
     #: Effective system clock period in nanoseconds (paper §2).
     clock_period_ns: float = 40.0
+    #: CPUs sharing the memory system (the C-240 has four).
+    cpus: int = 4
     #: Hardware maximum vector length.
     max_vl: int = 128
+    #: Vector chaining: a consumer may start on the producer's *first*
+    #: element result instead of waiting for the full stream (§3.3).
+    chaining_enabled: bool = True
     #: Number of interleaved memory banks (standard configuration).
     memory_banks: int = 32
     #: Bank cycle (busy) time in clock cycles.
@@ -59,6 +64,12 @@ class MachineConfig:
     scalar_cache_miss_latency: int = 14
     #: Extra cycles a taken branch costs beyond its issue slot.
     branch_taken_penalty: int = 2
+    #: Chime composition rule: at most two reads and one write per
+    #: vector register pair per chime (§3.3 rule 2).
+    chime_register_pairs: bool = True
+    #: Chime composition rule: a chime with a vector memory access ends
+    #: at a scalar memory reference (§3.3 rule 3).
+    chime_scalar_memory_splits: bool = True
     #: Multiplier (>= 1) on vector memory streaming rate modelling
     #: contention from other CPUs; 1.0 = idle machine.  A heavily loaded
     #: machine runs at one access per 56-64 ns => factor 1.4-1.6 (§4.2).
@@ -77,6 +88,8 @@ class MachineConfig:
     def __post_init__(self):
         if self.clock_period_ns <= 0:
             raise MachineError("clock_period_ns must be positive")
+        if self.cpus <= 0:
+            raise MachineError("cpus must be positive")
         if self.max_vl <= 0:
             raise MachineError("max_vl must be positive")
         if self.memory_banks <= 0:
@@ -139,6 +152,9 @@ class MachineConfig:
 
     def without_fastpath(self) -> "MachineConfig":
         return self.replace(fastpath=False)
+
+    def without_chaining(self) -> "MachineConfig":
+        return self.replace(chaining_enabled=False)
 
     def without_bubbles(self) -> "MachineConfig":
         return self.replace(

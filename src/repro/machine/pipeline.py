@@ -286,9 +286,12 @@ class TimingModel:
             constraints.append(state.memory_port_free)
             rate = max(rate, self.memory.stream_rate(d.mem_stride))
         source_streams: list[VectorStream] = []
+        chaining = self.config.chaining_enabled
         for idx in d.vector_read_idxs:
             stream = state.vector_streams[idx]
-            constraints.append(stream.first)
+            # Chained consumers start on the producer's first element;
+            # without chaining they wait for the full stream to land.
+            constraints.append(stream.first if chaining else stream.end)
             source_streams.append(stream)
         dest = d.dest_reg
         if d.dest_is_vector:

@@ -50,13 +50,15 @@ class SimulationResult:
     scalar_cache: CacheStats | None = None
     #: populated when the steady-state fast path was armed for the run
     fastpath: FastPathStats | None = None
+    #: clock period of the machine that produced the run (ns)
+    clock_period_ns: float = DEFAULT_CONFIG.clock_period_ns
 
     @property
     def mflops(self) -> float:
-        """Delivered MFLOPS at the default 40 ns clock."""
+        """Delivered MFLOPS at the machine's clock."""
         if self.cycles <= 0:
             return 0.0
-        seconds = self.cycles * DEFAULT_CONFIG.clock_period_ns * 1e-9
+        seconds = self.cycles * self.clock_period_ns * 1e-9
         return self.flops / seconds / 1e6
 
     def cycles_per_flop(self) -> float:
@@ -241,6 +243,7 @@ class Simulator:
                 if state.scalar_cache is not None else None
             ),
             fastpath=stats,
+            clock_period_ns=self.config.clock_period_ns,
         )
 
 

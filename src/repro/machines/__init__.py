@@ -1,0 +1,51 @@
+"""Declarative machine descriptions: data-driven machine files.
+
+The C-240 stopped being hard-coded here: a *machine file* (TOML or
+JSON) declares everything the performance model consumes — clock, VP
+count, max VL, chaining, memory banks and bank busy time, refresh
+period/duration, scalar issue/load parameters, chime composition
+rules, and the per-pipe X/Y/Z/B timing table — and the validating
+loader turns it into the same frozen
+:class:`~repro.machine.config.MachineConfig` every layer already
+keys on.  A C-210, a 64-bank C-3800-alike, or a Cray-style
+no-chaining machine is a config artifact, not a code fork.
+
+* :mod:`~repro.machines.schema` — field schema + typed validation
+  (:class:`~repro.errors.MachineFileError`, never a crash);
+* :mod:`~repro.machines.loader` — TOML/JSON parsing (stdlib
+  ``tomllib`` when available, a built-in TOML subset parser
+  otherwise);
+* :mod:`~repro.machines.registry` — the shipped machine family under
+  ``data/`` (``c240``, ``c210``, ``c3800like``, ``cray-nochain``),
+  name/path resolution, and :func:`tuned_options` (clamps the
+  compiler's strip length to the machine's max VL).
+
+Machine identity in cache keys is the *content digest* of the
+resolved config (``MachineDescription.digest``), so run caches,
+service L1/L2 tiers, and fleet routing can never collide across
+machines — nor split on cosmetic differences like a renamed file.
+"""
+
+from .loader import load_machine_file, parse_machine_text
+from .registry import (
+    builtin_machine,
+    builtin_names,
+    machine,
+    machine_names,
+    resolve_machines,
+    tuned_options,
+)
+from .schema import MachineDescription, build_description
+
+__all__ = [
+    "MachineDescription",
+    "build_description",
+    "builtin_machine",
+    "builtin_names",
+    "load_machine_file",
+    "machine",
+    "machine_names",
+    "parse_machine_text",
+    "resolve_machines",
+    "tuned_options",
+]

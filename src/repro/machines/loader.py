@@ -1,0 +1,182 @@
+"""Parsing for machine-description files (TOML or JSON).
+
+TOML is parsed with the stdlib ``tomllib`` where available (Python
+3.11+); on older interpreters a built-in parser for the subset of
+TOML machine files actually use takes over — ``[section]`` /
+``[a.b]`` headers, ``key = value`` pairs with string / integer /
+float / boolean values, comments, and blank lines.  The repo bakes in
+no third-party dependencies, so there is no ``tomli`` fallback.
+
+All parse failures — from either parser, or from ``json`` — are
+wrapped in :class:`~repro.errors.MachineFileError` so callers (CLI,
+service, tests) get one typed error for "this machine file is bad",
+never an interpreter crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..errors import MachineFileError
+from .schema import MachineDescription, build_description
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 CI
+    tomllib = None  # type: ignore[assignment]
+
+
+def _toml_scalar(raw: str, line_number: int, source: str) -> object:
+    """One TOML value from the supported subset."""
+    text = raw.strip()
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        body = text[1:-1]
+        if '"' in body or "\\" in body:
+            raise MachineFileError(
+                f"line {line_number}: unsupported string escape in "
+                f"{raw!r}",
+                source=source,
+            )
+        return body
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text, 10)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise MachineFileError(
+            f"line {line_number}: cannot parse value {raw!r} "
+            "(supported: strings, integers, floats, booleans)",
+            source=source,
+        ) from None
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment (quote-aware for the string subset)."""
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:index]
+    return line
+
+
+def _toml_subset(text: str, source: str) -> dict:
+    """Parse the machine-file TOML subset into nested dicts."""
+    root: dict = {}
+    table = root
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            if not line.endswith("]") or line.startswith("[["):
+                raise MachineFileError(
+                    f"line {line_number}: malformed section header "
+                    f"{raw_line.strip()!r}",
+                    source=source,
+                )
+            path = line[1:-1].strip()
+            if not path:
+                raise MachineFileError(
+                    f"line {line_number}: empty section header",
+                    source=source,
+                )
+            table = root
+            for part in path.split("."):
+                part = part.strip()
+                if not part:
+                    raise MachineFileError(
+                        f"line {line_number}: malformed section path "
+                        f"{path!r}",
+                        source=source,
+                    )
+                table = table.setdefault(part, {})
+                if not isinstance(table, dict):
+                    raise MachineFileError(
+                        f"line {line_number}: section {path!r} "
+                        "collides with a value",
+                        source=source,
+                    )
+            continue
+        key, separator, value = line.partition("=")
+        key = key.strip()
+        if not separator or not key or not value.strip():
+            raise MachineFileError(
+                f"line {line_number}: expected 'key = value', got "
+                f"{raw_line.strip()!r}",
+                source=source,
+            )
+        if key in table:
+            raise MachineFileError(
+                f"line {line_number}: duplicate key {key!r}",
+                source=source,
+            )
+        table[key] = _toml_scalar(value, line_number, source)
+    return root
+
+
+def _parse_toml(text: str, source: str) -> dict:
+    if tomllib is not None:
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise MachineFileError(str(exc), source=source) from None
+    return _toml_subset(text, source)
+
+
+def _parse_json(text: str, source: str) -> dict:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise MachineFileError(str(exc), source=source) from None
+    if not isinstance(data, dict):
+        raise MachineFileError(
+            "JSON machine file must be an object", source=source
+        )
+    return data
+
+
+def parse_machine_text(
+    text: str, source: str = "<inline>", fmt: str = "toml"
+) -> MachineDescription:
+    """Parse and validate machine-file text in one step."""
+    if fmt == "toml":
+        data = _parse_toml(text, source)
+    elif fmt == "json":
+        data = _parse_json(text, source)
+    else:
+        raise MachineFileError(
+            f"unknown machine-file format {fmt!r} (toml or json)",
+            source=source,
+        )
+    return build_description(data, source)
+
+
+def load_machine_file(path: str) -> MachineDescription:
+    """Load, parse, and validate one machine file by path."""
+    suffix = os.path.splitext(path)[1].lower()
+    if suffix not in (".toml", ".json"):
+        raise MachineFileError(
+            f"unsupported machine-file extension {suffix!r} "
+            "(.toml or .json)",
+            source=path,
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise MachineFileError(
+            f"cannot read machine file: {exc.strerror or exc}",
+            source=path,
+        ) from None
+    return parse_machine_text(
+        text, source=path, fmt=suffix.lstrip(".")
+    )

@@ -1,0 +1,275 @@
+"""Schema and validation for declarative machine files.
+
+A machine file is a small tree of sections (see ``docs/machines.md``
+for the authoring guide)::
+
+    schema = 1
+    name = "c240"
+    title = "Convex C-240 (paper baseline)"
+
+    [machine]   # clock_period_ns, cpus, max_vl, chaining
+    [memory]    # banks, bank_cycle_time, refresh_*, contention_factor
+    [scalar]    # issue_cycles, load_latency, branch_taken_penalty
+    [chimes]    # register_pairs, scalar_memory_splits
+    [pipes.load]  # x, y, z, b, vl_floor — one section per timing key
+
+Every key is optional and defaults to the paper's C-240 value, but
+*unknown* sections or keys are rejected — a typo can never silently
+fall back to a default.  ``[pipes]``, when present, must cover the
+full timing-key set the compiler emits (no partial tables).  All
+failures raise :class:`~repro.errors.MachineFileError` carrying the
+source path; range violations delegate to
+:class:`~repro.machine.config.MachineConfig` validation and are
+wrapped in the same typed error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MachineError, MachineFileError
+from ..isa.timing import DEFAULT_TIMINGS, TimingTable, VectorTiming
+from ..machine.config import MachineConfig
+
+#: The one schema version this loader understands.
+SCHEMA_VERSION = 1
+
+#: section -> {file key -> MachineConfig field}
+_SECTION_FIELDS: dict[str, dict[str, str]] = {
+    "machine": {
+        "clock_period_ns": "clock_period_ns",
+        "cpus": "cpus",
+        "max_vl": "max_vl",
+        "chaining": "chaining_enabled",
+    },
+    "memory": {
+        "banks": "memory_banks",
+        "bank_cycle_time": "bank_cycle_time",
+        "refresh_period": "refresh_period",
+        "refresh_duration": "refresh_duration",
+        "refresh_enabled": "refresh_enabled",
+        "contention_factor": "memory_contention_factor",
+    },
+    "scalar": {
+        "issue_cycles": "scalar_issue_cycles",
+        "load_latency": "scalar_load_latency",
+        "branch_taken_penalty": "branch_taken_penalty",
+    },
+    "chimes": {
+        "register_pairs": "chime_register_pairs",
+        "scalar_memory_splits": "chime_scalar_memory_splits",
+    },
+}
+
+#: per-pipe timing parameters (VectorTiming field -> required type)
+_PIPE_FIELDS = ("x", "y", "z", "b", "vl_floor")
+
+_TOP_LEVEL_KEYS = ("schema", "name", "title", "doc")
+
+#: The baseline every machine file's omitted keys inherit from.
+DEFAULT_FOR_SCHEMA = MachineConfig()
+
+
+@dataclass(frozen=True)
+class MachineDescription:
+    """One loaded, validated machine: metadata + resolved config."""
+
+    name: str
+    title: str
+    doc: str
+    config: MachineConfig
+    #: file path the description came from, or ``"<builtin>"``
+    source: str
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the resolved config.
+
+        Two files declaring identical parameters share a digest (they
+        *are* the same machine); any parameter change moves it.  This
+        is the token that joins sweep/service/fleet cache keys.
+        """
+        from ..sweep.spec import digest
+
+        return digest(self.config)
+
+    def summary(self) -> str:
+        """One-line parameter summary for tables and ``machines list``."""
+        config = self.config
+        chain = "chained" if config.chaining_enabled else "no-chain"
+        return (
+            f"{config.clock_period_ns:g} ns clock, "
+            f"{config.cpus} cpu(s), VL {config.max_vl}, "
+            f"{config.memory_banks} banks/busy {config.bank_cycle_time}, "
+            f"{chain}"
+        )
+
+
+def _fail(message: str, source: str) -> "MachineFileError":
+    return MachineFileError(message, source=source)
+
+
+def _check_type(
+    key: str, value: object, default: object, source: str
+) -> object:
+    """Coerce/validate one scalar against its default's type."""
+    if isinstance(default, bool):
+        if not isinstance(value, bool):
+            raise _fail(
+                f"{key} must be a boolean, got {value!r}", source
+            )
+        return value
+    if isinstance(default, int):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise _fail(
+                f"{key} must be an integer, got {value!r}", source
+            )
+        return value
+    if isinstance(default, float):
+        if isinstance(value, bool) or \
+                not isinstance(value, (int, float)):
+            raise _fail(
+                f"{key} must be a number, got {value!r}", source
+            )
+        return float(value)
+    if isinstance(default, str):
+        if not isinstance(value, str):
+            raise _fail(
+                f"{key} must be a string, got {value!r}", source
+            )
+        return value
+    raise _fail(f"unsupported schema type for {key}", source)
+
+
+def _pipe_timing(
+    key: str, raw: object, source: str
+) -> VectorTiming:
+    """Validate one ``[pipes.<key>]`` section into a VectorTiming."""
+    base = DEFAULT_TIMINGS[key]
+    if not isinstance(raw, dict):
+        raise _fail(f"pipes.{key} must be a section of x/y/z/b", source)
+    values: dict[str, object] = {}
+    for field, value in raw.items():
+        if field not in _PIPE_FIELDS:
+            raise _fail(
+                f"unknown key pipes.{key}.{field}; known: "
+                f"{', '.join(_PIPE_FIELDS)}",
+                source,
+            )
+        values[field] = _check_type(
+            f"pipes.{key}.{field}", value, getattr(base, field), source
+        )
+    timing = VectorTiming(
+        key=key,
+        x=int(values.get("x", base.x)),
+        y=int(values.get("y", base.y)),
+        z=float(values.get("z", base.z)),
+        b=int(values.get("b", base.b)),
+        vl_floor=int(values.get("vl_floor", base.vl_floor)),
+    )
+    if timing.z <= 0:
+        raise _fail(f"pipes.{key}.z must be positive", source)
+    if timing.x < 0 or timing.y < 0 or timing.b < 0 or \
+            timing.vl_floor < 0:
+        raise _fail(
+            f"pipes.{key}: x, y, b, and vl_floor must be >= 0", source
+        )
+    return timing
+
+
+def _timing_table(raw: object, source: str) -> TimingTable:
+    if not isinstance(raw, dict):
+        raise _fail("pipes must be a table of per-pipe sections", source)
+    required = set(DEFAULT_TIMINGS)
+    declared = set(raw)
+    unknown = sorted(declared - required)
+    if unknown:
+        raise _fail(
+            f"unknown pipe timing key(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(required))}",
+            source,
+        )
+    missing = sorted(required - declared)
+    if missing:
+        raise _fail(
+            "pipes section is partial; missing timing key(s) "
+            f"{', '.join(missing)} (declare the full table or drop "
+            "the section to inherit the C-240 values)",
+            source,
+        )
+    return TimingTable(
+        {key: _pipe_timing(key, raw[key], source) for key in sorted(raw)}
+    )
+
+
+def build_description(data: object, source: str) -> MachineDescription:
+    """Validate a parsed machine-file tree into a description.
+
+    Raises :class:`~repro.errors.MachineFileError` on any structural,
+    type, or range problem; never lets a malformed file crash with an
+    untyped exception.
+    """
+    if not isinstance(data, dict):
+        raise _fail("machine file must be a table of sections", source)
+
+    for key in data:
+        if key not in _TOP_LEVEL_KEYS and key not in _SECTION_FIELDS \
+                and key != "pipes":
+            raise _fail(
+                f"unknown section or key {key!r}; top-level keys: "
+                f"{', '.join(_TOP_LEVEL_KEYS)}; sections: "
+                f"{', '.join((*_SECTION_FIELDS, 'pipes'))}",
+                source,
+            )
+
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise _fail(
+            f"schema must be {SCHEMA_VERSION}, got {schema!r}", source
+        )
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise _fail("machine file needs a non-empty 'name'", source)
+    if not all(c.isalnum() or c in "-_" for c in name):
+        raise _fail(
+            f"machine name {name!r} may only use letters, digits, "
+            "'-' and '_'",
+            source,
+        )
+    title = _check_type("title", data.get("title", name), "", source)
+    doc = _check_type("doc", data.get("doc", ""), "", source)
+
+    changes: dict[str, object] = {}
+    for section, fields in _SECTION_FIELDS.items():
+        raw = data.get(section)
+        if raw is None:
+            continue
+        if not isinstance(raw, dict):
+            raise _fail(f"{section} must be a section", source)
+        for key, value in raw.items():
+            field = fields.get(key)
+            if field is None:
+                raise _fail(
+                    f"unknown key {section}.{key}; known: "
+                    f"{', '.join(fields)}",
+                    source,
+                )
+            default = getattr(DEFAULT_FOR_SCHEMA, field)
+            changes[field] = _check_type(
+                f"{section}.{key}", value, default, source
+            )
+
+    if "pipes" in data:
+        changes["timings"] = _timing_table(data["pipes"], source)
+
+    try:
+        config = DEFAULT_FOR_SCHEMA.replace(**changes)  # type: ignore[arg-type]
+    except MachineError as exc:
+        raise _fail(str(exc), source) from None
+    return MachineDescription(
+        name=str(name),
+        title=str(title),
+        doc=str(doc),
+        config=config,
+        source=source,
+    )

@@ -20,10 +20,10 @@ from dataclasses import dataclass, field
 
 from ..compiler import CompiledKernel, CompilerOptions, DEFAULT_OPTIONS
 from ..errors import ModelError
-from ..isa.timing import TimingTable, default_timing_table
+from ..isa.timing import TimingTable
 from ..lang.analysis import analyze_loop, collect_integer_constants
 from ..machine import DEFAULT_CONFIG, MachineConfig
-from ..schedule.chimes import ChimeRules, DEFAULT_RULES
+from ..schedule.chimes import ChimeRules, refresh_factor_for
 from ..units import harmonic_mean_mflops, percent_of_bound
 from ..workloads.lfk import KernelSpec, kernel
 from ..workloads.runner import compile_spec, run_kernel
@@ -190,9 +190,9 @@ def analyze_kernel(
     options: CompilerOptions = DEFAULT_OPTIONS,
     config: MachineConfig = DEFAULT_CONFIG,
     timings: TimingTable | None = None,
-    rules: ChimeRules = DEFAULT_RULES,
+    rules: ChimeRules | None = None,
     measure: bool = True,
-    vl: int = 128,
+    vl: int | None = None,
 ) -> KernelAnalysis:
     """Run the complete MACS methodology on one kernel.
 
@@ -200,6 +200,14 @@ def analyze_kernel(
     is cheap enough for interactive use.  ``n`` is accepted for API
     convenience but the case-study specs fix their standard sizes; a
     mismatching ``n`` raises.
+
+    The MACS level honors the machine description in ``config``:
+    ``timings``, ``rules``, and ``vl`` default to the config's timing
+    table, chime-composition rules (including chaining), and hardware
+    maximum VL, and the refresh factor is derived from the config's
+    refresh period/duration.  The MA and MAC levels stay machine-ideal
+    by construction (one element per clock); machine specificity
+    enters the hierarchy at the S level, exactly as in the paper.
     """
     spec = (
         spec_or_name
@@ -213,16 +221,25 @@ def analyze_kernel(
             "build their own KernelSpec"
         )
     if timings is None:
-        timings = default_timing_table()
+        timings = config.timings
+    if rules is None:
+        rules = ChimeRules.for_machine(config)
+    if vl is None:
+        vl = config.max_vl
+    refresh = config.refresh_enabled
+    factor = refresh_factor_for(config)
     compiled = compile_spec(spec, options)
 
     plan = compiled.innermost_vector_plan()
     ma_row = ma_bound(ma_counts(plan.analysis))
     body = inner_loop_body(compiled.program)
     mac_row = mac_bound(mac_counts(body))
-    macs = macs_bound(compiled.program, vl, timings, rules)
-    macs_f = macs_f_bound(compiled.program, vl, timings, rules)
-    macs_m = macs_m_bound(compiled.program, vl, timings, rules)
+    macs = macs_bound(compiled.program, vl, timings, rules,
+                      refresh, factor)
+    macs_f = macs_f_bound(compiled.program, vl, timings, rules,
+                          refresh, factor)
+    macs_m = macs_m_bound(compiled.program, vl, timings, rules,
+                          refresh, factor)
 
     analysis = KernelAnalysis(
         spec=spec,

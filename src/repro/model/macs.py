@@ -15,11 +15,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from collections.abc import Iterable
+
 from ..errors import ModelError
 from ..isa.instructions import Instruction
 from ..isa.program import Program
 from ..isa.timing import TimingTable, default_timing_table
-from ..schedule.chimes import ChimePartition, ChimeRules, DEFAULT_RULES, partition_chimes
+from ..schedule.chimes import (
+    DEFAULT_RULES,
+    REFRESH_FACTOR,
+    ChimePartition,
+    ChimeRules,
+    partition_chimes,
+)
 
 
 def inner_loop_body(program: Program) -> tuple[Instruction, ...]:
@@ -41,14 +49,18 @@ class MacsBound:
 
 
 def _bound_for(
-    instructions,
+    instructions: Iterable[Instruction],
     vl: int,
     timings: TimingTable,
     rules: ChimeRules,
     refresh: bool,
+    refresh_factor: float,
 ) -> MacsBound:
     partition = partition_chimes(instructions, rules)
-    cpl = partition.cpl(vl, timings, refresh) if len(partition) else 0.0
+    cpl = (
+        partition.cpl(vl, timings, refresh, rules.chaining, refresh_factor)
+        if len(partition) else 0.0
+    )
     return MacsBound(partition=partition, vl=vl, cpl=cpl)
 
 
@@ -58,6 +70,7 @@ def macs_bound(
     timings: TimingTable | None = None,
     rules: ChimeRules = DEFAULT_RULES,
     refresh: bool = True,
+    refresh_factor: float = REFRESH_FACTOR,
 ) -> MacsBound:
     """``t_MACS`` of a compiled program's innermost loop."""
     if timings is None:
@@ -65,7 +78,8 @@ def macs_bound(
     if vl <= 0:
         raise ModelError(f"VL must be positive, got {vl}")
     return _bound_for(
-        inner_loop_body(program), vl, timings, rules, refresh
+        inner_loop_body(program), vl, timings, rules, refresh,
+        refresh_factor,
     )
 
 
@@ -75,6 +89,7 @@ def macs_f_bound(
     timings: TimingTable | None = None,
     rules: ChimeRules = DEFAULT_RULES,
     refresh: bool = True,
+    refresh_factor: float = REFRESH_FACTOR,
 ) -> MacsBound:
     """``t_f''``: MACS applied with vector memory operations deleted."""
     if timings is None:
@@ -82,7 +97,7 @@ def macs_f_bound(
     body = [
         i for i in inner_loop_body(program) if not i.is_vector_memory
     ]
-    return _bound_for(body, vl, timings, rules, refresh)
+    return _bound_for(body, vl, timings, rules, refresh, refresh_factor)
 
 
 def macs_m_bound(
@@ -91,6 +106,7 @@ def macs_m_bound(
     timings: TimingTable | None = None,
     rules: ChimeRules = DEFAULT_RULES,
     refresh: bool = True,
+    refresh_factor: float = REFRESH_FACTOR,
 ) -> MacsBound:
     """``t_m''``: MACS applied with vector floating point deleted."""
     if timings is None:
@@ -98,4 +114,4 @@ def macs_m_bound(
     body = [
         i for i in inner_loop_body(program) if not i.is_vector_fp
     ]
-    return _bound_for(body, vl, timings, rules, refresh)
+    return _bound_for(body, vl, timings, rules, refresh, refresh_factor)

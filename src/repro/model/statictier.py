@@ -27,7 +27,7 @@ from ..analysis.staticpred import StaticPrediction, predict_program
 from ..compiler import CompiledKernel, CompilerOptions, DEFAULT_OPTIONS
 from ..compiler.scalar import LITERALS_SYMBOL, SCALARS_SYMBOL
 from ..machine import DEFAULT_CONFIG, MachineConfig
-from ..units import MAX_VL, cycles_per_vector_iteration
+from ..units import cycles_per_vector_iteration
 from ..workloads.lfk import KernelSpec
 from .advisor import Advice, advise
 from .hierarchy import KernelAnalysis, analyze_kernel
@@ -93,6 +93,8 @@ class StaticKernelPrediction:
     #: hierarchy); the static cycle prediction still stands.
     analysis: KernelAnalysis | None
     advice: tuple[Advice, ...]
+    #: the machine description the prediction was computed for
+    config: MachineConfig = DEFAULT_CONFIG
 
     # -- paper units ---------------------------------------------------
 
@@ -119,7 +121,7 @@ class StaticKernelPrediction:
         prediction = self.prediction
         cycles = prediction.cycles
         if cycles > 0:
-            seconds = cycles * DEFAULT_CONFIG.clock_period_ns * 1e-9
+            seconds = cycles * self.config.clock_period_ns * 1e-9
             mflops = prediction.flops / seconds / 1e6
         else:
             mflops = 0.0
@@ -134,7 +136,7 @@ class StaticKernelPrediction:
             "cpl": self.cpl(),
             "cpf": self.cpf(),
             "cycles_per_vector_iteration": cycles_per_vector_iteration(
-                cycles, self.spec.inner_iterations, MAX_VL
+                cycles, self.spec.inner_iterations, self.config.max_vl
             ),
             "mflops": mflops,
         }
@@ -247,6 +249,7 @@ def predict_kernel(
         prediction=prediction,
         analysis=analysis,
         advice=advice,
+        config=config,
     )
     _STATIC_CACHE[key] = result
     if len(_STATIC_CACHE) > _STATIC_CACHE_MAX:

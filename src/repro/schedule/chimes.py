@@ -23,11 +23,15 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..errors import ScheduleError
 from ..isa.instructions import Instruction, Pipe
 from ..isa.registers import Register
 from ..isa.timing import TimingTable, default_timing_table
+
+if TYPE_CHECKING:
+    from ..machine.config import MachineConfig
 
 #: Refresh penalty factor: an 8-cycle refresh every 400 cycles (§3.2).
 REFRESH_FACTOR = 1.02
@@ -35,12 +39,39 @@ REFRESH_FACTOR = 1.02
 REFRESH_RUN_LENGTH = 4
 
 
+def refresh_factor_for(config: "MachineConfig") -> float:
+    """The refresh penalty factor a machine description implies.
+
+    ``1 + duration/period``: for the paper's 8-cycle refresh every 400
+    cycles this is exactly :data:`REFRESH_FACTOR` (1.02, float-exact).
+    """
+    if not config.refresh_enabled:
+        return 1.0
+    return 1.0 + config.refresh_duration / config.refresh_period
+
+
 @dataclass(frozen=True)
 class ChimeRules:
-    """Which partitioning constraints to enforce (ablation switches)."""
+    """Which partitioning constraints to enforce (ablation switches).
+
+    ``chaining`` does not change the partition itself — it switches the
+    chime *cost* model: chained chimes overlap their instructions
+    (``max(Z*VL) + sum(B)``, eq. 13); without chaining every stream in
+    the chime runs back to back (``sum(Z*VL) + sum(B)``).
+    """
 
     enforce_register_pairs: bool = True
     scalar_memory_splits: bool = True
+    chaining: bool = True
+
+    @classmethod
+    def for_machine(cls, config: "MachineConfig") -> "ChimeRules":
+        """The chime rules a machine description declares."""
+        return cls(
+            enforce_register_pairs=config.chime_register_pairs,
+            scalar_memory_splits=config.chime_scalar_memory_splits,
+            chaining=config.chaining_enabled,
+        )
 
 
 DEFAULT_RULES = ChimeRules()
@@ -61,20 +92,27 @@ class Chime:
     def pipes_used(self) -> set[Pipe]:
         return {i.pipe for i in self.instructions if i.pipe is not None}
 
-    def cycles(self, vl: int, timings: TimingTable) -> float:
+    def cycles(
+        self, vl: int, timings: TimingTable, chaining: bool = True
+    ) -> float:
         """Steady-state cost: ``max(Z * VL_eff) + sum(B)`` (eq. 13,
-        with each instruction's VL floored at its §3.2 threshold)."""
+        with each instruction's VL floored at its §3.2 threshold).
+
+        Without chaining the chime's streams cannot overlap, so the
+        cost degrades to ``sum(Z * VL_eff) + sum(B)``.
+        """
         if not self.instructions:
             raise ScheduleError("empty chime has no cost")
         max_stream = 0.0
+        total_stream = 0.0
         total_b = 0
         for instr in self.instructions:
             timing = timings.lookup(instr.timing_key)
-            max_stream = max(
-                max_stream, timing.z * timing.effective_vl(vl)
-            )
+            stream = timing.z * timing.effective_vl(vl)
+            max_stream = max(max_stream, stream)
+            total_stream += stream
             total_b += timing.b
-        return max_stream + total_b
+        return (max_stream if chaining else total_stream) + total_b
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -159,32 +197,35 @@ class ChimePartition:
         vl: int = 128,
         timings: TimingTable | None = None,
         refresh: bool = True,
+        chaining: bool = True,
+        refresh_factor: float = REFRESH_FACTOR,
     ) -> float:
         """Steady-state cycles for one loop iteration's chimes.
 
         Applies the memory-refresh rule (§3.4): every circular run of
         :data:`REFRESH_RUN_LENGTH` or more consecutive chimes that each
-        contain a memory operation is scaled by
-        :data:`REFRESH_FACTOR`.
+        contain a memory operation is scaled by ``refresh_factor``
+        (default :data:`REFRESH_FACTOR`; machine descriptions derive
+        theirs via :func:`refresh_factor_for`).
         """
         if timings is None:
             timings = default_timing_table()
         if not self.chimes:
             return 0.0
-        costs = [c.cycles(vl, timings) for c in self.chimes]
+        costs = [c.cycles(vl, timings, chaining) for c in self.chimes]
         if not refresh:
             return sum(costs)
         if all(c.has_memory_op for c in self.chimes):
             # The loop repeats, so the run of memory chimes is unbounded
             # across iterations: the refresh is always exposed (this is
             # how the paper reaches 2.09 CPL for LFK3's two chimes).
-            return sum(costs) * REFRESH_FACTOR
+            return sum(costs) * refresh_factor
         scaled = list(costs)
         for start, length in self._circular_memory_runs():
             if length >= REFRESH_RUN_LENGTH:
                 for offset in range(length):
                     index = (start + offset) % len(costs)
-                    scaled[index] = costs[index] * REFRESH_FACTOR
+                    scaled[index] = costs[index] * refresh_factor
         return sum(scaled)
 
     def _circular_memory_runs(self) -> list[tuple[int, int]]:
@@ -222,9 +263,13 @@ class ChimePartition:
         vl: int = 128,
         timings: TimingTable | None = None,
         refresh: bool = True,
+        chaining: bool = True,
+        refresh_factor: float = REFRESH_FACTOR,
     ) -> float:
         """Bound in cycles per *source* loop iteration."""
-        return self.total_cycles(vl, timings, refresh) / vl
+        return self.total_cycles(
+            vl, timings, refresh, chaining, refresh_factor
+        ) / vl
 
 
 def partition_chimes(

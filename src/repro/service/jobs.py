@@ -41,7 +41,13 @@ from .protocol import (
 def _config_from_payload(payload: dict):
     from ..machine import DEFAULT_CONFIG
 
-    config = DEFAULT_CONFIG
+    machine_name = payload.get("machine")
+    if machine_name is not None:
+        from ..machines import builtin_machine
+
+        config = builtin_machine(str(machine_name)).config
+    else:
+        config = DEFAULT_CONFIG
     if payload.get("no_fastpath"):
         config = config.without_fastpath()
     if payload.get("max_cycles") is not None:
@@ -117,6 +123,7 @@ def _compute_analyze(payload: dict) -> dict:
     analysis = analyze_kernel(
         workload(payload["kernel"]),
         options=options_from_dict(payload.get("options") or {}),
+        config=_config_from_payload(payload),
     )
     return {
         "kernel": payload["kernel"],
@@ -158,10 +165,11 @@ def _compute_sweep(payload: dict) -> dict:
         name: OPTION_VARIANTS[name]
         for name in payload.get("variants", ["default"])
     }
+    config_tag = str(payload.get("machine") or "base")
     spec = SweepSpec.build(
         payload["kernels"],
         variants=variants,
-        configs={"base": _config_from_payload(payload)},
+        configs={config_tag: _config_from_payload(payload)},
     )
     result = run_sweep(spec, jobs=1)
     return {

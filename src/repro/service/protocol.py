@@ -54,11 +54,13 @@ from ..errors import (
     BudgetExceededError,
     ExperimentError,
     MachineError,
+    MachineFileError,
     ReproError,
     StoreError,
     WorkloadError,
 )
 from ..machine import DEFAULT_CONFIG
+from ..machines import builtin_machine, tuned_options
 from ..sweep.spec import OPTION_VARIANTS, SweepTask, digest
 
 #: Compute kinds (keyed and cached; all but ``advise`` run on the
@@ -164,9 +166,32 @@ def resolve_options(params: dict) -> CompilerOptions:
     return DEFAULT_OPTIONS
 
 
+def resolve_machine(params: dict):
+    """The machine description a request targets, or ``None``.
+
+    Only built-in names travel over the wire — a client-side machine
+    *file* is the offline client's business; the server resolves names
+    against its own shipped registry so both sides key on the same
+    content digest.
+    """
+    name = params.get("machine")
+    if name is None:
+        return None
+    if not isinstance(name, str):
+        raise ProtocolError(
+            f"'machine' must be a built-in machine name, got {name!r}"
+        )
+    try:
+        return builtin_machine(name)
+    except MachineFileError as exc:
+        raise ProtocolError(str(exc)) from None
+
+
 def resolve_config(params: dict):
-    """Machine config from ``no_fastpath``/``max_cycles`` params."""
-    config = DEFAULT_CONFIG
+    """Machine config from ``machine``/``no_fastpath``/``max_cycles``."""
+    description = resolve_machine(params)
+    config = DEFAULT_CONFIG if description is None \
+        else description.config
     if params.get("no_fastpath"):
         config = config.without_fastpath()
     max_cycles = params.get("max_cycles")
@@ -182,8 +207,18 @@ def resolve_config(params: dict):
 
 
 def config_payload(params: dict) -> dict:
-    """The canonical config-affecting params (for payloads/digests)."""
+    """The canonical config-affecting params (for payloads/digests).
+
+    A machine is identified by *name and content digest*: the digest
+    joins every derived request key, so two machines that merely share
+    a name (say, a server and client with different registry versions)
+    can never collide in a cache tier.
+    """
     payload: dict = {}
+    description = resolve_machine(params)
+    if description is not None:
+        payload["machine"] = description.name
+        payload["machine_digest"] = description.digest
     if params.get("no_fastpath"):
         payload["no_fastpath"] = True
     if params.get("max_cycles") is not None:
@@ -329,8 +364,8 @@ def canonicalize(kind: str, params: dict) -> Request:
 
     if kind in ("run", "bound", "mac"):
         kernel = _require_kernel(params)
-        options = resolve_options(params)
         config = resolve_config(params)
+        options = tuned_options(resolve_options(params), config)
         task = SweepTask(
             workload=kernel, options=options, config=config,
             n=_problem_size(params), mode=kind,
@@ -349,7 +384,9 @@ def canonicalize(kind: str, params: dict) -> Request:
 
     if kind == "ax":
         kernel = _require_kernel(params)
-        options = resolve_options(params)
+        options = tuned_options(
+            resolve_options(params), resolve_config(params)
+        )
         payload = {
             "kind": kind,
             "kernel": kernel,
@@ -376,11 +413,14 @@ def canonicalize(kind: str, params: dict) -> Request:
 
     if kind == "analyze":
         kernel = _require_kernel(params)
-        options = resolve_options(params)
+        options = tuned_options(
+            resolve_options(params), resolve_config(params)
+        )
         payload = {
             "kind": kind,
             "kernel": kernel,
             "options": options_to_dict(options),
+            **config_payload(params),
         }
         return Request(kind=kind, key=f"analyze:{digest(payload)}",
                        payload={**payload, **inject},
@@ -388,8 +428,10 @@ def canonicalize(kind: str, params: dict) -> Request:
 
     if kind == "advise":
         kernel = _require_kernel(params)
-        options = resolve_options(params)
-        resolve_config(params)  # validate max_cycles early
+        # resolve_config validates machine/max_cycles up front
+        options = tuned_options(
+            resolve_options(params), resolve_config(params)
+        )
         payload = {
             "kind": kind,
             "kernel": kernel,

@@ -275,18 +275,21 @@ def _compute_metrics(task: SweepTask) -> dict:
         return _metrics_from_run(run)
     if task.mode == "bound":
         from ..model import macs_bound
-        from ..schedule.chimes import DEFAULT_RULES
+        from ..schedule.chimes import ChimeRules, refresh_factor_for
         from ..workloads import compile_spec
 
         with tele.stage("bound"):
             compiled = compile_spec(spec, task.options)
             bound = macs_bound(
                 compiled.program,
+                vl=task.config.max_vl,
                 timings=task.config.timings,
                 rules=(
-                    DEFAULT_RULES if task.rules is None else task.rules
+                    ChimeRules.for_machine(task.config)
+                    if task.rules is None else task.rules
                 ),
                 refresh=task.config.refresh_enabled,
+                refresh_factor=refresh_factor_for(task.config),
             )
         return {"cpl": bound.cpl}
     # mode == "mac": the model hierarchy's compiler-level bound
@@ -294,7 +297,7 @@ def _compute_metrics(task: SweepTask) -> dict:
 
     with tele.stage("bound"):
         analysis = analyze_kernel(spec, options=task.options,
-                                  measure=False)
+                                  config=task.config, measure=False)
     return {"cpl": analysis.mac.cpl}
 
 

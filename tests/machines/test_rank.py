@@ -1,0 +1,71 @@
+"""The cross-machine ranking experiment."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ExperimentError
+from repro.experiments import EXPERIMENTS
+from repro.experiments.rank import run_rank
+
+
+@pytest.fixture(scope="module")
+def full_rank():
+    return run_rank(machines="all", kernels=("lfk1", "lfk3", "lfk7"))
+
+
+def test_rank_is_registered():
+    assert EXPERIMENTS["rank"] is run_rank
+
+
+def test_ranks_the_whole_family_on_three_kernels(full_rank):
+    data = full_rank.data
+    assert len(data["machines"]) >= 4
+    assert len(data["kernels"]) == 3
+    ranks = [row["rank"] for row in data["ranking"]]
+    assert ranks == sorted(ranks) == list(range(1, 5))
+    geomeans = [row["geomean_ns_per_iter"] for row in data["ranking"]]
+    assert all(g > 0 for g in geomeans)
+    assert geomeans == sorted(geomeans)
+
+
+def test_faster_clock_wins_the_streaming_mix(full_rank):
+    names = [row["machine"] for row in full_rank.data["ranking"]]
+    # both sub-40ns machines beat both 40ns machines on this mix
+    assert set(names[:2]) == {"cray-nochain", "c3800like"}
+
+
+def test_schedule_ranking_covers_every_variant(full_rank):
+    from repro.sweep.spec import OPTION_VARIANTS
+
+    ranking = full_rank.data["schedule_ranking"]
+    assert {row["variant"] for row in ranking} == set(OPTION_VARIANTS)
+    cpls = [row["cpl"] for row in ranking]
+    assert cpls == sorted(cpls)
+
+
+def test_render_contains_both_tables(full_rank):
+    text = full_rank.render()
+    assert "machines ranked" in text
+    assert "schedules ranked" in text
+    assert "bound" in text
+
+
+def test_empty_kernel_set_is_typed():
+    with pytest.raises(ExperimentError, match="kernel"):
+        run_rank(kernels=())
+
+
+def test_cli_gates_machine_flag_to_rank(capsys):
+    code = main(["experiment", "table1", "--machine", "all"])
+    assert code == 2
+    assert "rank" in capsys.readouterr().err
+
+
+def test_cli_rank_two_kernels(capsys):
+    code = main([
+        "experiment", "rank",
+        "--machine", "c240,c210", "--kernels", "lfk1,lfk3",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "c210" in out and "lfk3 ns/it" in out

@@ -1,0 +1,113 @@
+"""The shipped machine family and --machine argument resolution."""
+
+import pytest
+
+from repro.compiler import DEFAULT_OPTIONS
+from repro.errors import MachineFileError
+from repro.machine.config import DEFAULT_CONFIG
+from repro.machines import (
+    builtin_machine,
+    builtin_names,
+    load_machine_file,
+    machine,
+    machine_names,
+    resolve_machines,
+    tuned_options,
+)
+
+FAMILY = ("c240", "c210", "c3800like", "cray-nochain")
+
+
+class TestBuiltins:
+    def test_family_is_shipped(self):
+        assert tuple(builtin_names()) == FAMILY
+        assert machine_names() == builtin_names()
+
+    def test_baseline_leads_the_listing(self):
+        assert builtin_names()[0] == "c240"
+
+    def test_c240_is_the_default_config(self):
+        assert builtin_machine("c240").config == DEFAULT_CONFIG
+
+    def test_builtins_are_memoized(self):
+        assert builtin_machine("c210") is builtin_machine("c210")
+
+    def test_builtin_source_is_masked(self):
+        assert builtin_machine("c240").source == "<builtin>"
+
+    def test_unknown_name_lists_the_family(self):
+        with pytest.raises(MachineFileError, match="c3800like"):
+            builtin_machine("c9000")
+
+    def test_family_parameters(self):
+        c210 = builtin_machine("c210").config
+        assert (c210.cpus, c210.memory_banks) == (1, 16)
+        c3800 = builtin_machine("c3800like").config
+        assert c3800.memory_banks == 64
+        assert c3800.clock_period_ns < DEFAULT_CONFIG.clock_period_ns
+        cray = builtin_machine("cray-nochain").config
+        assert not cray.chaining_enabled
+        assert cray.max_vl == 64
+        assert not cray.refresh_enabled
+
+    def test_digests_are_distinct_across_the_family(self):
+        digests = {builtin_machine(n).digest for n in builtin_names()}
+        assert len(digests) == len(FAMILY)
+
+
+class TestResolution:
+    def test_machine_accepts_paths(self, tmp_path):
+        path = tmp_path / "custom.toml"
+        path.write_text(
+            'schema = 1\nname = "custom"\n[machine]\nmax_vl = 32\n'
+        )
+        description = machine(str(path))
+        assert description.name == "custom"
+        assert description.config.max_vl == 32
+        assert load_machine_file(str(path)).digest == description.digest
+
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(MachineFileError, match="cannot read"):
+            machine(str(tmp_path / "absent.toml"))
+
+    def test_unsupported_extension_is_typed(self, tmp_path):
+        path = tmp_path / "m.yaml"
+        path.write_text("schema: 1\n")
+        with pytest.raises(MachineFileError, match="extension"):
+            machine(str(path))
+
+    def test_resolve_all(self):
+        assert [d.name for d in resolve_machines("all")] == list(FAMILY)
+
+    def test_resolve_comma_list(self):
+        names = [d.name for d in resolve_machines("c210, cray-nochain")]
+        assert names == ["c210", "cray-nochain"]
+
+    def test_resolve_dedups_by_digest(self, tmp_path):
+        # a path-loaded twin of c240 collapses onto the built-in
+        path = tmp_path / "twin.toml"
+        path.write_text('schema = 1\nname = "twin"\n')
+        resolved = resolve_machines(f"c240,{path}")
+        assert [d.name for d in resolved] == ["c240"]
+
+    def test_resolve_empty_is_typed(self):
+        with pytest.raises(MachineFileError, match="empty"):
+            resolve_machines(" , ")
+
+
+class TestTunedOptions:
+    def test_clamps_strip_length_to_short_registers(self):
+        cray = builtin_machine("cray-nochain").config
+        tuned = tuned_options(DEFAULT_OPTIONS, cray)
+        assert tuned.vector_length == 64
+
+    def test_fitting_options_pass_through_unchanged(self):
+        assert tuned_options(
+            DEFAULT_OPTIONS, DEFAULT_CONFIG
+        ) is DEFAULT_OPTIONS
+
+    def test_shorter_requested_strip_is_respected(self):
+        short = DEFAULT_OPTIONS.replace(vector_length=16)
+        assert tuned_options(
+            short, builtin_machine("cray-nochain").config
+        ) is short

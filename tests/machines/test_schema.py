@@ -1,0 +1,202 @@
+"""Schema validation: malformed machine files raise typed errors.
+
+The contract under test: *any* malformed input — junk text, wrong
+types, unknown keys, partial pipe tables, out-of-range values —
+raises :class:`repro.errors.MachineFileError` (which the CLI maps to
+the simulation exit code), and never an untyped crash.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineFileError, ReproError
+from repro.isa.timing import DEFAULT_TIMINGS
+from repro.machine.config import DEFAULT_CONFIG
+from repro.machines import build_description, parse_machine_text
+from repro.machines.loader import _parse_toml, _toml_subset
+
+MINIMAL = 'schema = 1\nname = "m"\n'
+
+
+def describe(text: str):
+    return parse_machine_text(text, source="<test>")
+
+
+class TestValidFiles:
+    def test_minimal_file_inherits_every_default(self):
+        description = describe(MINIMAL)
+        assert description.name == "m"
+        assert description.title == "m"
+        assert description.config == DEFAULT_CONFIG
+
+    def test_sections_override_fields(self):
+        description = describe(
+            MINIMAL
+            + "[machine]\nclock_period_ns = 20.0\nmax_vl = 64\n"
+            + "chaining = false\n"
+            + "[memory]\nbanks = 64\nrefresh_enabled = false\n"
+            + "[scalar]\nload_latency = 2\n"
+            + "[chimes]\nregister_pairs = false\n"
+        )
+        config = description.config
+        assert config.clock_period_ns == 20.0
+        assert config.max_vl == 64
+        assert not config.chaining_enabled
+        assert config.memory_banks == 64
+        assert not config.refresh_enabled
+        assert config.scalar_load_latency == 2
+        assert not config.chime_register_pairs
+        # untouched fields keep the C-240 values
+        assert config.bank_cycle_time == DEFAULT_CONFIG.bank_cycle_time
+
+    def test_full_pipe_table_overrides_timings(self):
+        sections = "".join(
+            f"[pipes.{key}]\nz = 2.0\n" for key in DEFAULT_TIMINGS
+        )
+        description = describe(MINIMAL + sections)
+        for key in DEFAULT_TIMINGS:
+            timing = description.config.timings.lookup(key)
+            assert timing.z == 2.0
+            # omitted per-pipe keys inherit Table 1
+            assert timing.y == DEFAULT_TIMINGS[key].y
+
+    def test_json_machine_file(self):
+        data = {"schema": 1, "name": "j",
+                "machine": {"max_vl": 32}}
+        description = parse_machine_text(
+            json.dumps(data), source="<test>", fmt="json"
+        )
+        assert description.config.max_vl == 32
+
+    def test_doc_and_title_carried(self):
+        description = describe(
+            'schema = 1\nname = "m"\ntitle = "My Machine"\n'
+            'doc = "notes"\n'
+        )
+        assert description.title == "My Machine"
+        assert description.doc == "notes"
+
+
+class TestTypedRejections:
+    @pytest.mark.parametrize("text, fragment", [
+        ("", "schema"),
+        ('schema = 2\nname = "m"\n', "schema"),
+        ("schema = 1\n", "name"),
+        ('schema = 1\nname = "bad name!"\n', "letters"),
+        (MINIMAL + "[engine]\nfoo = 1\n", "unknown"),
+        (MINIMAL + "[machine]\nfoo = 1\n", "unknown key"),
+        (MINIMAL + "[machine]\nmax_vl = true\n", "integer"),
+        (MINIMAL + '[machine]\nmax_vl = "128"\n', "integer"),
+        (MINIMAL + '[memory]\nrefresh_enabled = 1\n', "boolean"),
+        (MINIMAL + '[machine]\nclock_period_ns = "fast"\n', "number"),
+        (MINIMAL + "[pipes.load]\nz = 1.0\n", "partial"),
+        (MINIMAL + "[pipes.warp]\nz = 1.0\n", "unknown pipe"),
+        (MINIMAL + "[machine]\nmax_vl = 0\n", "max_vl"),
+        (MINIMAL + "[memory]\nbanks = 0\n", "banks"),
+        (MINIMAL + "[machine]\ncpus = 0\n", "cpus"),
+    ])
+    def test_malformed_files_raise_machine_file_error(
+        self, text, fragment
+    ):
+        with pytest.raises(MachineFileError) as excinfo:
+            describe(text)
+        assert fragment.split()[0] in str(excinfo.value)
+
+    def test_zero_rate_pipe_rejected(self):
+        sections = "".join(
+            f"[pipes.{key}]\nz = 1.0\n" for key in DEFAULT_TIMINGS
+        ).replace("[pipes.div]\nz = 1.0", "[pipes.div]\nz = 0.0")
+        with pytest.raises(MachineFileError, match="positive"):
+            describe(MINIMAL + sections)
+
+    def test_non_table_input_rejected(self):
+        with pytest.raises(MachineFileError, match="table"):
+            build_description([1, 2], "<test>")
+
+    def test_json_array_rejected(self):
+        with pytest.raises(MachineFileError, match="object"):
+            parse_machine_text("[1, 2]", source="<t>", fmt="json")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(MachineFileError, match="format"):
+            parse_machine_text(MINIMAL, source="<t>", fmt="yaml")
+
+    def test_source_path_in_message(self):
+        with pytest.raises(MachineFileError, match="<test>"):
+            describe("schema = 1\n")
+
+
+class TestSubsetParser:
+    """The 3.10 fallback parser agrees with tomllib and fails typed."""
+
+    def test_agrees_with_tomllib_on_shipped_files(self):
+        import glob
+        import os
+
+        from repro.machines.registry import DATA_DIR
+
+        paths = sorted(glob.glob(os.path.join(DATA_DIR, "*.toml")))
+        assert paths
+        for path in paths:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+            assert _toml_subset(text, path) == _parse_toml(text, path)
+
+    @pytest.mark.parametrize("text, fragment", [
+        ("[unclosed\n", "section header"),
+        ("[]\n", "empty section"),
+        ("[a..b]\n", "section path"),
+        ("key\n", "key = value"),
+        ("key =\n", "key = value"),
+        ("a = 1\na = 2\n", "duplicate"),
+        ("a = nope\n", "cannot parse"),
+        ('[a]\nb = 1\n[a.b]\nc = 2\n', "collides"),
+    ])
+    def test_malformed_toml_raises_with_line_numbers(
+        self, text, fragment
+    ):
+        with pytest.raises(MachineFileError) as excinfo:
+            _toml_subset(text, "<t>")
+        assert fragment in str(excinfo.value)
+
+    def test_comments_and_strings_with_hashes(self):
+        parsed = _toml_subset(
+            '# leading\nt = "a # b"  # trailing\nn = 3 # c\n', "<t>"
+        )
+        assert parsed == {"t": "a # b", "n": 3}
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_fuzz_toml_text_never_crashes_untyped(text):
+    try:
+        parse_machine_text(text, source="<fuzz>")
+    except MachineFileError:
+        pass  # the typed rejection path — always acceptable
+
+
+@given(
+    st.recursive(
+        st.one_of(
+            st.none(), st.booleans(), st.integers(), st.floats(),
+            st.text(max_size=20),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=10), children, max_size=4),
+        ),
+        max_leaves=12,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_fuzz_parsed_trees_never_crash_untyped(data):
+    try:
+        build_description(data, "<fuzz>")
+    except MachineFileError:
+        pass
+    except ReproError as exc:  # pragma: no cover - would be a bug
+        raise AssertionError(
+            f"untyped taxonomy leak: {type(exc).__name__}: {exc}"
+        )
